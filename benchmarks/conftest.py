@@ -1,0 +1,25 @@
+"""Shared benchmark configuration.
+
+Every benchmark runs its experiment exactly once (``pedantic`` with a
+single round): the experiments are deterministic simulations, so
+repetition only adds wall-clock time, and the quantity of interest is
+the regenerated table/figure, not the harness's own speed.
+
+Scales are chosen so the full suite regenerates every table and
+figure in a few minutes; the statistics being rate-based, they are
+stable well below the paper's 100K-operation runs (the shape
+assertions in each file would fail if they were not).
+"""
+
+import pytest
+
+#: Operation counts for benchmark-grade runs.
+WHISPER_TXS = 6_000
+SPEC_ITERS = 4_000
+FIG8_OBJECTS = 1_000
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

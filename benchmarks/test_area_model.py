@@ -1,0 +1,35 @@
+"""Regenerates the Section V-B hardware-cost estimate.
+
+Paper: the circular buffer is 32 entries x 34 bits plus a 32-bit
+timer = 140 bytes of on-chip storage, occupying ~0.006% of a 45nm
+Nehalem die (Cacti 5.1).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.arch.area import circular_buffer_area
+
+
+def test_hardware_cost(benchmark):
+    est = run_once(benchmark, circular_buffer_area)
+    print()
+    print(f"  circular buffer: {est.bits} bits = {est.bytes} bytes, "
+          f"{est.area_um2:.0f} um^2 = "
+          f"{est.die_fraction_percent:.4f}% of a 45nm Nehalem die")
+    assert est.bytes == 140
+    assert est.die_fraction_percent == pytest.approx(0.006, rel=0.15)
+
+
+def test_area_scaling(benchmark):
+    def sweep():
+        return {cap: circular_buffer_area(cap).area_um2
+                for cap in (16, 32, 64, 128)}
+    areas = run_once(benchmark, sweep)
+    print()
+    for cap, area in areas.items():
+        print(f"  {cap} entries: {area:.0f} um^2")
+    values = list(areas.values())
+    assert values == sorted(values)
+    # Periphery dominates: doubling capacity far less than doubles area.
+    assert areas[64] < 1.8 * areas[32]

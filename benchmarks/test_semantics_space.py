@@ -1,0 +1,25 @@
+"""Ablation: the semantics design space (Section IV).
+
+Not a numbered figure, but the paper's central design argument —
+reproduced as a scored comparison: only EW-conscious semantics is
+simultaneously thread-composable, window-bounded, and free of FCFS's
+benign-reattach hole.
+"""
+
+from benchmarks.conftest import run_once
+from repro.eval.experiments import semantics_space
+
+
+def test_semantics_design_space(benchmark):
+    scores = run_once(benchmark, semantics_space.run)
+    print()
+    print(semantics_space.render(scores))
+    by_name = {s.name: s for s in scores}
+
+    assert by_name["basic"].nested_errors > 0
+    assert not by_name["basic"].thread_composable
+    assert not by_name["outermost"].window_bounded
+    assert by_name["fcfs"].reattach_holes > 0
+    winner = by_name["ew-conscious"]
+    assert winner.thread_composable and winner.window_bounded
+    assert winner.reattach_holes == 0

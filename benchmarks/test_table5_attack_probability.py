@@ -1,0 +1,46 @@
+"""Regenerates Table V: attack success probability, MERR vs TERP.
+
+Paper values: MERR (0.015/x)% per 40µs EW on a 1GB PMO (18-bit
+entropy); TERP (0.0005/x)% — 30x smaller — because the malicious
+thread holds permission for only a small slice of each window; probes
+slower than the TEW cannot run at all.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.eval.experiments import table5
+from repro.security.attacks import compare_protections
+
+
+def test_table5(benchmark):
+    result = run_once(benchmark, table5.run)
+    print()
+    print(result.render())
+
+    assert result.entropy_bits == 18
+    assert result.merr_1us == pytest.approx(0.0153, abs=0.001)
+    assert result.merr_01us == pytest.approx(0.153, abs=0.01)
+    assert result.terp_1us == pytest.approx(0.00051, abs=0.00005)
+    assert result.reduction == pytest.approx(30.0, rel=0.05)
+    # Monte Carlo agrees with the analytic model.
+    assert result.monte_carlo_merr_1us == pytest.approx(
+        result.merr_1us, rel=0.3)
+
+
+def test_data_only_attack_case_study(benchmark):
+    """Section VII-D's case study: the same gadget chain succeeds
+    unprotected, is slowed by MERR, and fails under TERP."""
+    results = run_once(benchmark, compare_protections,
+                       n_nodes=12, max_rounds=60_000)
+    print()
+    for name, outcome in results.items():
+        print(f"  {name:5s}: {outcome.corrupted_nodes}/"
+              f"{outcome.total_nodes} nodes corrupted in "
+              f"{outcome.rounds_used} rounds "
+              f"(faults={outcome.faults}, "
+              f"stale addresses={outcome.stale_addresses})")
+    assert results["none"].succeeded
+    assert not results["terp"].succeeded
+    assert results["terp"].progress <= results["merr"].progress
+    assert results["terp"].faults > 0

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""The TERP compiler pass on a Figure 5-style control-flow graph.
+
+Builds a function with branching and a loop around PMO accesses, runs
+the region analysis and Algorithm 1's insertion, prints the
+instrumented IR, and then *executes* it against the TERP architecture
+engine to show the inserted conditional attach/detach (a) never
+violate the EW-conscious semantics and (b) bound the thread exposure
+window at the compiler's budget.
+"""
+
+from repro.arch.cond_engine import TerpArchEngine
+from repro.compiler.insertion import TerpInsertionPass, verify_program
+from repro.compiler.interp import Interpreter
+from repro.compiler.ir import Call, Compute, Load, Program, Store
+from repro.compiler.pointer_analysis import analyze
+from repro.core.units import cycles_to_ns, ns_to_us, us
+
+
+def build_program() -> Program:
+    """if (...) { read PMO } else { update PMO };
+    then loop { helper(); compute } — helper writes the PMO."""
+    prog = Program()
+    prog.declare_pmo_handle("h", "accounts")
+
+    helper = prog.function("audit")
+    helper.block("entry", [Load("h"), Compute(40), Store("h")])
+
+    main = prog.function("main")
+    main.block("entry", [Compute(100)]).branch("fast", "slow")
+    main.block("fast", [Load("h"), Compute(30)]).jump("join")
+    main.block("slow", [Load("h"), Compute(400), Store("h")]) \
+        .jump("join")
+    main.block("join", [Compute(50)]).jump("loop")
+    main.block("loop", [Compute(20)]).branch("body", "done")
+    main.block("body", [Call("audit"), Compute(500)]).jump("loop")
+    main.block("done", [Compute(10)])
+    return prog
+
+
+def dump(prog: Program) -> None:
+    for fn in prog.functions.values():
+        print(f"  function {fn.name}:")
+        for name, bb in fn.blocks.items():
+            ops = ", ".join(type(i).__name__ +
+                            (f"({i.pmo})" if hasattr(i, "pmo") else "")
+                            for i in bb.instrs)
+            arrow = f" -> {bb.successors}" if bb.successors else ""
+            print(f"    {name}: [{ops}]{arrow}")
+
+
+def main() -> None:
+    prog = build_program()
+    points_to = analyze(prog)
+    print("pointer analysis: PMO-accessing blocks per function")
+    for fname in prog.functions:
+        blocks = sorted(points_to.blocks_with_accesses(fname))
+        print(f"  {fname}: {blocks}")
+
+    tew_cycles = 2_000   # ~0.9us at 2.2 GHz
+    pass_ = TerpInsertionPass(let_threshold_cycles=100_000,
+                              tew_cycles=tew_cycles)
+    report = pass_.run(prog)
+    verify_program(prog)
+    print(f"\ninserted {report.attaches} CondAttach / "
+          f"{report.detaches} CondDetach across {report.regions} "
+          "PMO-WFG regions (verified: matched on every path)\n")
+    dump(prog)
+
+    engine = TerpArchEngine(us(40))
+    result = Interpreter(prog, engine, seed=11).run("main")
+    print(f"\nexecution under the TERP architecture engine:")
+    print(f"  {result.attaches} attaches, {result.detaches} detaches, "
+          f"{result.faults} faults, "
+          f"{result.semantics_errors} semantics errors")
+    print(f"  thread windows: {result.tew_count}, max "
+          f"{ns_to_us(result.max_tew_ns):.2f}us "
+          f"(budget {ns_to_us(cycles_to_ns(tew_cycles)):.2f}us)")
+    assert result.clean
+
+
+if __name__ == "__main__":
+    main()

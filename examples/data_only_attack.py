@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""The Figure 12 data-only attack, replayed against real PMO data.
+
+A victim FTP-like server keeps a linked list in a PMO.  A buffer
+overflow gives the attacker control of the request-handler's local
+variables, turning three innocent statements into chained data-only
+gadgets that add a chosen value to every list node.
+
+The same attack runs under three protections.  Watch the mechanics:
+
+* **none** — the attacker probes once for the base address, then
+  corrupts node after node;
+* **MERR** — windows + re-randomization force re-probing every
+  exposure window; progress slows but accumulates;
+* **TERP** — the compromised thread holds PMO permission for only a
+  small slice of each window; probes mostly *fault* (a detectable
+  signal), learned addresses die before they can be reused, and the
+  attack stalls.
+"""
+
+from repro.security.attacks import (
+    AttackConfig, DataOnlyAttack, Protection)
+
+
+def main() -> None:
+    print("Attack goal (Figure 12b): list->prop += 7777 "
+          "for every node\n")
+    print(f"{'protection':11s} {'corrupted':>10s} {'rounds':>8s} "
+          f"{'faults':>8s} {'stale':>7s} {'verdict'}")
+    for protection in Protection:
+        config = AttackConfig(protection=protection, max_rounds=60_000)
+        attack = DataOnlyAttack(config, n_nodes=12, seed=7)
+        outcome = attack.run()
+        verdict = ("ATTACK SUCCEEDED" if outcome.succeeded
+                   else "attack failed / stalled")
+        print(f"{protection.value:11s} "
+              f"{outcome.corrupted_nodes:4d}/{outcome.total_nodes:<5d} "
+              f"{outcome.rounds_used:8d} {outcome.faults:8d} "
+              f"{outcome.stale_addresses:7d} {verdict}")
+        if protection is Protection.NONE:
+            props = attack.victim.props()
+            print(f"{'':11s} victim list after attack: "
+                  f"{props[:4]}... (+7777 each)")
+    print("\nEach probe costs 1us; TERP grants the thread ~1/30 of "
+          "each 40us window\nand re-randomizes the PMO between "
+          "windows (10-bit demo entropy).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Two processes share a PMO — the poset's upper tiers in action.
+
+A server process owns a world-readable PMO; a client process of a
+different user attaches it read-only.  Each process gets its own
+randomized placement (learning one address reveals nothing about the
+other process), OS mode bits gate who may attach at all, and exposure
+is tracked per process.  A third, unauthorized user is refused by the
+OS before TERP is even consulted — the user-permission level of the
+TERP poset sitting above process attach/detach.
+"""
+
+from repro.core.errors import PmoError
+from repro.core.multiprocess import SharedPmoSystem
+from repro.core.permissions import Access
+from repro.core.semantics import Outcome
+from repro.core.units import MIB, us
+
+
+def main() -> None:
+    system = SharedPmoSystem(seed=11)
+    server = system.create_process("server", user="alice")
+    client = system.create_process("client", user="bob")
+    intruder = system.create_process("intruder", user="mallory")
+
+    pmo = system.create_pmo(server, "market-data", 16 * MIB,
+                            mode=0o644)
+    print("created 'market-data' (owner alice, mode 644)\n")
+
+    system.attach(server, "market-data", Access.RW)
+    system.attach(client, "market-data", Access.READ, now_ns=us(1))
+    va_server = system.base_va(server, "market-data")
+    va_client = system.base_va(client, "market-data")
+    print(f"server maps it at  {va_server:#016x}")
+    print(f"client maps it at  {va_client:#016x}  "
+          "(independent randomization)")
+
+    oid = pmo.pmalloc(64)
+    pmo.write(oid.offset, b"price: 42.17")
+    print(f"server writes, client reads: "
+          f"{pmo.read(oid.offset, 12).decode()}")
+    ok = system.access(client, "market-data", Access.READ,
+                       now_ns=us(2))
+    denied = system.access(client, "market-data", Access.WRITE,
+                           now_ns=us(3))
+    print(f"client read  -> {ok.outcome.value}")
+    print(f"client write -> {denied.outcome.value} "
+          "(mode 644: read-only for others)")
+
+    try:
+        system.attach(intruder, "market-data", Access.RW,
+                      now_ns=us(4))
+    except PmoError as exc:
+        print(f"mallory attach(RW) -> refused by the OS: {exc}")
+
+    # Server detaches after its EW target: unmapped for the server,
+    # while the client's window is untouched.
+    system.detach(server, "market-data", now_ns=us(41))
+    print(f"\nafter server detach (41us): "
+          f"server mapping = {system.base_va(server, 'market-data')}, "
+          f"client mapping = "
+          f"{system.base_va(client, 'market-data'):#016x}")
+
+    rates = system.exposure_by_process("market-data",
+                                       total_ns=us(100))
+    print("\nper-process exposure of 'market-data' over 100us:")
+    for name, rate in rates.items():
+        print(f"  {name:9s} {100 * rate:5.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation.
+
+Runs the whole experiment suite at a configurable scale and prints
+each artifact in the paper's layout.  At ``--scale 1.0`` the
+operation counts match the benchmark harness defaults; the statistics
+are rate-based and stable well below the paper's 100K operations.
+
+Usage::
+
+    python examples/reproduce_paper.py             # ~3 minutes
+    python examples/reproduce_paper.py --scale 0.2 # quick look
+    python examples/reproduce_paper.py --only table3 fig9
+"""
+
+import argparse
+import sys
+import time
+
+from repro.eval.experiments import (
+    fig8, fig9, fig10, fig11, table3, table4, table5, table6)
+
+BASE_TXS = 6_000
+BASE_ITERS = 4_000
+BASE_OBJECTS = 1_000
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="multiplier on operation counts")
+    parser.add_argument("--only", nargs="*", default=None,
+                        help="subset of artifacts, e.g. table3 fig9")
+    args = parser.parse_args()
+    txs = max(200, int(BASE_TXS * args.scale))
+    iters = max(200, int(BASE_ITERS * args.scale))
+    objects = max(100, int(BASE_OBJECTS * args.scale))
+
+    artifacts = {
+        "fig8": lambda: fig8.run(n_objects_per_profile=objects),
+        "table3": lambda: table3.run(n_transactions=txs),
+        "fig9": lambda: fig9.run(n_transactions=txs),
+        "table4": lambda: table4.run(n_iterations=iters),
+        "fig10": lambda: fig10.run(n_iterations=iters),
+        "fig11": lambda: fig11.run(n_iterations=max(200, iters // 2),
+                                   num_threads=4),
+        "table5": lambda: table5.run(),
+        "table6": lambda: table6.run(n_transactions=txs // 2,
+                                     n_iterations=iters // 2),
+    }
+    selected = args.only or list(artifacts)
+    unknown = set(selected) - set(artifacts)
+    if unknown:
+        print(f"unknown artifacts: {sorted(unknown)}; "
+              f"choose from {list(artifacts)}")
+        return 2
+
+    for name in selected:
+        started = time.time()
+        result = artifacts[name]()
+        elapsed = time.time() - started
+        print("=" * 72)
+        print(result.render())
+        print(f"[{name} regenerated in {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Run the five SPEC-style kernels on persistent memory objects.
+
+Each kernel keeps its working state (lattices, flows, particle
+coordinates, compression dictionaries) in PMOs — the paper's
+"heap objects larger than 128KB become PMOs" policy, executable.
+The example steps each kernel, checks its correctness invariant, then
+crashes the machine mid-computation and shows the state surviving.
+"""
+
+from repro.pmo.pool import PmoManager
+from repro.workloads.spec.kernels import ALL_KERNELS, make_kernel
+
+STEPS = {"mcf": 10, "lbm": 6, "imagick": 20, "nab": 10, "xz": 8}
+
+
+def main() -> None:
+    print(f"{'kernel':9s} {'PMOs':>5s} {'steps':>6s} "
+          f"{'metric':>10s} {'invariant':>10s} {'post-crash':>11s}")
+    for name in ALL_KERNELS:
+        manager = PmoManager()
+        kernel = make_kernel(name)
+        kernel.setup(manager)
+        metric = 0.0
+        for _ in range(STEPS[name]):
+            metric = kernel.step()
+        ok_before = kernel.verify()
+        # Power failure: every PMO crashes and recovers from its
+        # persistent bytes (redo log replayed, heap rescanned).
+        manager.simulate_reboot()
+        ok_after = kernel.verify()
+        print(f"{name:9s} {len(kernel.pmo_names()):5d} "
+              f"{STEPS[name]:6d} {metric:10.3f} "
+              f"{str(ok_before):>10s} {str(ok_after):>11s}")
+
+    print("\nmetrics: mcf = flow pushed by the last augmentation, "
+          "lbm = total lattice mass,\nimagick = mean blurred row, "
+          "nab = kinetic energy, xz = compression ratio")
+
+
+if __name__ == "__main__":
+    main()

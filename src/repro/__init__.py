@@ -1,0 +1,64 @@
+"""TERP: Temporal Exposure Reduction Protection for Persistent Memory.
+
+A complete reproduction of the HPCA 2022 paper: the TERP formal
+framework (posets, exposure windows, the four attach/detach
+semantics), the PMO substrate (pools, persistent heap, crash
+consistency, embedded page-table subtrees), the memory-protection
+substrate (page tables, TLBs, permission matrix, MPK domains), the
+TERP architecture (circular buffer, conditional attach/detach,
+sweeping), the compiler pass (region analysis and automatic
+insertion), the evaluation workloads (WHISPER- and SPEC-style), and
+the security analyses (dead times, success probabilities, gadget
+census, a data-only attack case study).
+
+Quick start::
+
+    from repro import PmoLibrary, Access
+
+    lib = PmoLibrary(ew_target_us=40.0)
+    pmo = lib.PMO_create("mydata", 8 * 1024 * 1024)
+    handle = lib.attach(pmo, Access.RW)
+    oid = lib.pmalloc(pmo, 64)
+    lib.write(oid, b"persistent!")
+
+See ``examples/`` for runnable scenarios and ``benchmarks/`` for the
+regeneration of every table and figure in the paper's evaluation.
+"""
+
+from repro.core.errors import (
+    CompilerError, ConfigurationError, CrashConsistencyError,
+    OutOfPersistentMemory, PmoError, ProtectionFault,
+    SegmentationFault, SemanticsViolation, SimulationError, TerpError)
+from repro.core.exposure import ExposureMonitor, Window, WindowTracker
+from repro.core.permissions import (
+    Access, Entity, EntityKind, PermissionGroup, PermissionSet)
+from repro.core.poset import Mechanism, ProtectionLevel, TerpPoset
+from repro.core.runtime import Handle, TerpRuntime
+from repro.core.semantics import (
+    BasicSemantics, EwConsciousSemantics, FcfsSemantics,
+    make_semantics, Outcome, OutermostSemantics)
+from repro.arch.cond_engine import TerpArchEngine
+from repro.pmo.api import PmoLibrary
+from repro.pmo.object_id import Oid
+from repro.pmo.pmo import Pmo
+from repro.pmo.pool import PmoManager
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # facade
+    "PmoLibrary", "Access", "Oid", "Pmo", "PmoManager", "Handle",
+    # framework
+    "TerpPoset", "Mechanism", "ProtectionLevel", "PermissionSet",
+    "PermissionGroup", "Entity", "EntityKind",
+    "ExposureMonitor", "WindowTracker", "Window",
+    # semantics and runtime
+    "BasicSemantics", "OutermostSemantics", "FcfsSemantics",
+    "EwConsciousSemantics", "TerpArchEngine", "make_semantics",
+    "Outcome", "TerpRuntime",
+    # errors
+    "TerpError", "SemanticsViolation", "ProtectionFault",
+    "SegmentationFault", "PmoError", "OutOfPersistentMemory",
+    "CrashConsistencyError", "CompilerError", "SimulationError",
+    "ConfigurationError",
+]

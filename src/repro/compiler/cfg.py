@@ -1,0 +1,169 @@
+"""Control-flow graph analyses: dominators, post-dominators, loops.
+
+The classic iterative dataflow formulations (Cooper-Harvey-Kennedy
+style, on name sets for clarity over speed — functions here have tens
+of blocks, not millions).  Post-dominance is dominance on the reverse
+graph with a virtual unique exit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.compiler.ir import Function
+from repro.core.errors import CompilerError
+
+VIRTUAL_EXIT = "__exit__"
+
+
+class Cfg:
+    """Edge structure + reachability over one function."""
+
+    def __init__(self, fn: Function) -> None:
+        fn.validate()
+        self.fn = fn
+        self.entry = fn.entry
+        self.succ: Dict[str, List[str]] = {
+            name: list(bb.successors) for name, bb in fn.blocks.items()}
+        self.pred: Dict[str, List[str]] = {name: [] for name in self.succ}
+        for name, succs in self.succ.items():
+            for s in succs:
+                self.pred[s].append(name)
+        unreachable = set(self.succ) - self.reachable()
+        if unreachable:
+            raise CompilerError(
+                f"unreachable blocks: {sorted(unreachable)}")
+
+    def nodes(self) -> List[str]:
+        return list(self.succ)
+
+    def reachable(self) -> Set[str]:
+        seen = {self.entry}
+        stack = [self.entry]
+        while stack:
+            for s in self.succ[stack.pop()]:
+                if s not in seen:
+                    seen.add(s)
+                    stack.append(s)
+        return seen
+
+    # -- dominance ---------------------------------------------------------
+
+    def dominators(self) -> Dict[str, Set[str]]:
+        """dom[b] = set of blocks dominating b (including b)."""
+        nodes = self.nodes()
+        all_nodes = set(nodes)
+        dom = {n: set(all_nodes) for n in nodes}
+        dom[self.entry] = {self.entry}
+        changed = True
+        while changed:
+            changed = False
+            for n in nodes:
+                if n == self.entry:
+                    continue
+                preds = self.pred[n]
+                new = set(all_nodes)
+                for p in preds:
+                    new &= dom[p]
+                new.add(n)
+                if new != dom[n]:
+                    dom[n] = new
+                    changed = True
+        return dom
+
+    def immediate_dominators(self) -> Dict[str, Optional[str]]:
+        dom = self.dominators()
+        idom: Dict[str, Optional[str]] = {self.entry: None}
+        for n in self.nodes():
+            if n == self.entry:
+                continue
+            strict = dom[n] - {n}
+            # idom = the strict dominator dominated by all others.
+            idom[n] = max(strict, key=lambda d: len(dom[d]))
+        return idom
+
+    def post_dominators(self) -> Dict[str, Set[str]]:
+        """pdom[b] over a reverse CFG with a virtual unique exit."""
+        nodes = self.nodes() + [VIRTUAL_EXIT]
+        rsucc = {n: list(self.pred[n]) for n in self.nodes()}
+        rsucc[VIRTUAL_EXIT] = [bb for bb in self.nodes()
+                               if not self.succ[bb]]
+        rpred: Dict[str, List[str]] = {n: [] for n in nodes}
+        for n, succs in rsucc.items():
+            for s in succs:
+                rpred[s].append(n)
+        all_nodes = set(nodes)
+        pdom = {n: set(all_nodes) for n in nodes}
+        pdom[VIRTUAL_EXIT] = {VIRTUAL_EXIT}
+        changed = True
+        while changed:
+            changed = False
+            for n in nodes:
+                if n == VIRTUAL_EXIT:
+                    continue
+                new = set(all_nodes)
+                for p in rpred[n]:
+                    new &= pdom[p]
+                new.add(n)
+                if new != pdom[n]:
+                    pdom[n] = new
+                    changed = True
+        for n in self.nodes():
+            pdom[n].discard(VIRTUAL_EXIT)
+        del pdom[VIRTUAL_EXIT]
+        return pdom
+
+    # -- loops --------------------------------------------------------------
+
+    def back_edges(self) -> List[Tuple[str, str]]:
+        """Edges (tail, head) where head dominates tail."""
+        dom = self.dominators()
+        return [(t, h) for t in self.nodes() for h in self.succ[t]
+                if h in dom[t]]
+
+    def natural_loops(self) -> Dict[str, Set[str]]:
+        """header -> loop body (all natural loops, merged per header)."""
+        loops: Dict[str, Set[str]] = {}
+        for tail, head in self.back_edges():
+            body = {head, tail}
+            stack = [tail]
+            while stack:
+                n = stack.pop()
+                for p in self.pred[n]:
+                    if p not in body and n != head:
+                        body.add(p)
+                        stack.append(p)
+            loops.setdefault(head, set()).update(body)
+        return loops
+
+    def loop_depth(self) -> Dict[str, int]:
+        depth = {n: 0 for n in self.nodes()}
+        for body in self.natural_loops().values():
+            for n in body:
+                depth[n] += 1
+        return depth
+
+    def topo_order_acyclic(self, ignore_back_edges: bool = True
+                           ) -> List[str]:
+        """Topological order ignoring back edges (for longest-path)."""
+        back = set(self.back_edges()) if ignore_back_edges else set()
+        indeg = {n: 0 for n in self.nodes()}
+        for n in self.nodes():
+            for s in self.succ[n]:
+                if (n, s) not in back:
+                    indeg[s] += 1
+        order = []
+        ready = [n for n, d in indeg.items() if d == 0]
+        while ready:
+            n = ready.pop()
+            order.append(n)
+            for s in self.succ[n]:
+                if (n, s) in back:
+                    continue
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    ready.append(s)
+        if len(order) != len(self.nodes()):
+            raise CompilerError("CFG is irreducible (cycle without "
+                                "a dominating header)")
+        return order

@@ -1,0 +1,82 @@
+"""Graphviz (DOT) export of CFGs and PMO-WFG regions.
+
+Renders a function's control-flow graph in the style of Figure 5:
+blocks with PMO accesses are shaded, PMO-WFG regions become clusters,
+and the inserted conditional attach/detach points are annotated.  The
+output is plain DOT text (no graphviz dependency); tests check the
+structure, humans run ``dot -Tpng`` on it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.compiler.ir import CondAttach, CondDetach, Function, Program
+from repro.compiler.pointer_analysis import analyze, PointsTo
+from repro.compiler.wfg import PmoWfg
+
+
+def _escape(name: str) -> str:
+    return name.replace('"', '\\"')
+
+
+def _block_label(fn: Function, name: str) -> str:
+    bb = fn.blocks[name]
+    attaches = sum(1 for i in bb.instrs if isinstance(i, CondAttach))
+    detaches = sum(1 for i in bb.instrs if isinstance(i, CondDetach))
+    label = name
+    if attaches:
+        label += f"\\n+{attaches} attach"
+    if detaches:
+        label += f"\\n+{detaches} detach"
+    return label
+
+
+def function_to_dot(fn: Function, *,
+                    points_to: Optional[PointsTo] = None,
+                    wfg: Optional[PmoWfg] = None) -> str:
+    """DOT text for one function.
+
+    ``points_to`` shades PMO-access blocks (Figure 5's gray nodes);
+    ``wfg`` draws each region as a cluster with its LET.
+    """
+    access_blocks = set()
+    if points_to is not None:
+        access_blocks = points_to.blocks_with_accesses(fn.name)
+    lines = [f'digraph "{_escape(fn.name)}" {{',
+             '  node [shape=box, fontname="monospace"];']
+    clustered = set()
+    if wfg is not None:
+        for i, region in enumerate(wfg.regions):
+            lines.append(f"  subgraph cluster_{i} {{")
+            lines.append(f'    label="region {i} '
+                         f'(LET {region.let_cycles} cy)";')
+            lines.append("    style=dashed;")
+            for name in sorted(region.blocks):
+                if name in fn.blocks:
+                    lines.append(f'    "{_escape(name)}";')
+                    clustered.add(name)
+            lines.append("  }")
+    for name in fn.blocks:
+        attrs = [f'label="{_block_label(fn, name)}"']
+        if name in access_blocks:
+            attrs.append('style=filled')
+            attrs.append('fillcolor=gray80')
+        if name == fn.entry:
+            attrs.append('penwidth=2')
+        lines.append(f'  "{_escape(name)}" [{", ".join(attrs)}];')
+    for name, bb in fn.blocks.items():
+        for succ in bb.successors:
+            lines.append(f'  "{_escape(name)}" -> "{_escape(succ)}";')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def program_to_dot(program: Program, *,
+                   with_analysis: bool = True) -> str:
+    """One DOT digraph per function, concatenated."""
+    points_to = analyze(program) if with_analysis else None
+    parts = []
+    for fn in program.functions.values():
+        parts.append(function_to_dot(fn, points_to=points_to))
+    return "\n".join(parts)

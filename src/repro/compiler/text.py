@@ -1,0 +1,154 @@
+"""Textual IR: parse and print programs for the TERP compiler.
+
+A small assembly-like syntax so test programs and examples can be
+written as text instead of builder calls::
+
+    pmo h = accounts
+
+    func main entry=entry
+    block entry:
+        compute 100
+        branch fast slow
+    block fast:
+        load h
+        jump join
+    block slow:
+        store h
+        jump join
+    block join:
+        compute 50
+
+Instructions: ``compute N``, ``load VAR``, ``store VAR``,
+``assign DST SRC``, ``gep DST SRC``, ``call FUNC``,
+``condattach PMO``, ``conddetach PMO``.  Terminators: ``jump B``,
+``branch B1 B2`` (a block without one is an exit).  ``#`` starts a
+comment.  :func:`print_program` emits the same syntax, and the
+round-trip is the module's tested invariant.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.compiler.ir import (
+    Assign, BasicBlock, Call, Compute, CondAttach, CondDetach,
+    Function, Gep, Instr, Load, Program, Store)
+from repro.core.errors import CompilerError
+
+_INSTR_PARSERS = {
+    "compute": lambda args: Compute(int(args[0])),
+    "load": lambda args: Load(args[0]),
+    "store": lambda args: Store(args[0]),
+    "assign": lambda args: Assign(args[0], args[1]),
+    "gep": lambda args: Gep(args[0], args[1]),
+    "call": lambda args: Call(args[0]),
+    "condattach": lambda args: CondAttach(args[0]),
+    "conddetach": lambda args: CondDetach(args[0]),
+}
+
+_ARG_COUNTS = {
+    "compute": 1, "load": 1, "store": 1, "assign": 2, "gep": 2,
+    "call": 1, "condattach": 1, "conddetach": 1,
+}
+
+
+def parse_program(text: str) -> Program:
+    """Parse the textual syntax into a validated Program."""
+    program = Program()
+    function: Optional[Function] = None
+    block: Optional[BasicBlock] = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        head = tokens[0].lower()
+        try:
+            if head == "pmo":
+                # pmo VAR = PMO_NAME
+                if len(tokens) != 4 or tokens[2] != "=":
+                    raise CompilerError("expected 'pmo VAR = NAME'")
+                program.declare_pmo_handle(tokens[1], tokens[3])
+            elif head == "func":
+                name = tokens[1]
+                entry = "entry"
+                for extra in tokens[2:]:
+                    if extra.startswith("entry="):
+                        entry = extra.split("=", 1)[1]
+                    else:
+                        raise CompilerError(
+                            f"unknown func attribute {extra!r}")
+                function = program.function(name, entry)
+                block = None
+            elif head == "block":
+                if function is None:
+                    raise CompilerError("'block' outside a function")
+                name = tokens[1].rstrip(":")
+                block = function.block(name)
+            elif head in ("jump", "branch"):
+                if block is None:
+                    raise CompilerError(f"'{head}' outside a block")
+                if head == "jump":
+                    block.jump(tokens[1])
+                else:
+                    block.branch(tokens[1], tokens[2])
+                block = None   # a terminator ends the block
+            elif head in _INSTR_PARSERS:
+                if block is None:
+                    raise CompilerError(
+                        f"instruction {head!r} outside a block")
+                args = tokens[1:]
+                if len(args) != _ARG_COUNTS[head]:
+                    raise CompilerError(
+                        f"{head} takes {_ARG_COUNTS[head]} args, "
+                        f"got {len(args)}")
+                block.add(_INSTR_PARSERS[head](args))
+            else:
+                raise CompilerError(f"unknown directive {head!r}")
+        except CompilerError as exc:
+            raise CompilerError(f"line {lineno}: {exc}") from None
+        except (IndexError, ValueError) as exc:
+            raise CompilerError(f"line {lineno}: malformed "
+                                f"{head!r}: {exc}") from None
+    program.validate()
+    return program
+
+
+def _instr_to_text(instr: Instr) -> str:
+    if isinstance(instr, Compute):
+        return f"compute {instr.cycles}"
+    if isinstance(instr, Load):
+        return f"load {instr.ptr}"
+    if isinstance(instr, Store):
+        return f"store {instr.ptr}"
+    if isinstance(instr, Assign):
+        return f"assign {instr.dst} {instr.src}"
+    if isinstance(instr, Gep):
+        return f"gep {instr.dst} {instr.src}"
+    if isinstance(instr, Call):
+        return f"call {instr.callee}"
+    if isinstance(instr, CondAttach):
+        return f"condattach {instr.pmo}"
+    if isinstance(instr, CondDetach):
+        return f"conddetach {instr.pmo}"
+    raise CompilerError(f"unprintable instruction {instr!r}")
+
+
+def print_program(program: Program) -> str:
+    """Emit the textual syntax (parse(print(p)) == structure of p)."""
+    lines: List[str] = []
+    for var, pmo in sorted(program.pmo_handles.items()):
+        lines.append(f"pmo {var} = {pmo}")
+    for fn in program.functions.values():
+        lines.append("")
+        lines.append(f"func {fn.name} entry={fn.entry}")
+        for name, bb in fn.blocks.items():
+            lines.append(f"block {name}:")
+            for instr in bb.instrs:
+                lines.append(f"    {_instr_to_text(instr)}")
+            if len(bb.successors) == 1:
+                lines.append(f"    jump {bb.successors[0]}")
+            elif len(bb.successors) == 2:
+                lines.append(f"    branch {bb.successors[0]} "
+                             f"{bb.successors[1]}")
+    return "\n".join(lines) + "\n"

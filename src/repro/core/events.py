@@ -1,0 +1,70 @@
+"""Trace records emitted by the TERP runtime.
+
+A run's event trace is the raw material for several experiments: the
+gadget census (Table VI) needs to know which accesses fell inside
+thread-permission windows; the exposure plots need the attach/detach
+timeline; debugging needs everything.  Tracing is optional — the
+runtime only records events when given a :class:`Trace`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Hashable, Iterator, List, Optional
+
+
+class EventKind(enum.Enum):
+    ATTACH = "attach"                # attach call (any outcome)
+    DETACH = "detach"                # detach call (any outcome)
+    ACCESS = "access"                # load/store attempt
+    MAP = "map"                      # real mapping installed
+    UNMAP = "unmap"                  # real mapping removed
+    GRANT = "grant"                  # thread permission opened
+    REVOKE = "revoke"                # thread permission closed
+    RANDOMIZE = "randomize"          # PMO relocated
+    FAULT = "fault"                  # access denied
+    BLOCKED = "blocked"              # thread had to wait (Basic MT)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    kind: EventKind
+    now_ns: int
+    thread_id: Optional[int] = None
+    pmo_id: Optional[Hashable] = None
+    outcome: str = ""
+    detail: str = ""
+
+
+class Trace:
+    """An append-only event log with small query helpers."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self.events: List[TraceEvent] = []
+        self.capacity = capacity
+        self.dropped = 0
+
+    def record(self, event: TraceEvent) -> None:
+        if self.capacity is not None and len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    def of_kind(self, kind: EventKind) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind is kind]
+
+    def for_pmo(self, pmo_id: Hashable) -> List[TraceEvent]:
+        return [e for e in self.events if e.pmo_id == pmo_id]
+
+    def for_thread(self, thread_id: int) -> List[TraceEvent]:
+        return [e for e in self.events if e.thread_id == thread_id]
+
+    def between(self, start_ns: int, end_ns: int) -> List[TraceEvent]:
+        return [e for e in self.events if start_ns <= e.now_ns < end_ns]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)

@@ -1,0 +1,106 @@
+"""Evaluation configurations (Section VI "Configurations").
+
+The paper evaluates three schemes, plus Figure 11's ablations:
+
+* **MM** — MERR insertion on the MERR architecture: manually inserted
+  pairs, each executed fully as a system call, randomized placement on
+  every (re)attach, process-wide Basic-style semantics.
+* **TM** — TERP insertion on the MERR architecture: compiler-inserted
+  conditional attach/detach with a TEW target, but every conditional
+  call still traps (syscall cost).
+* **TT** — TERP insertion on the TERP architecture: circular buffer,
+  window combining, 27-cycle silent operations.
+* **TT_BASIC** — TERP-frequency insertion under Basic semantics
+  (Figure 11 "basic semantics"): one thread at a time can hold a PMO.
+* **TT_COND** — conditional instructions without window combining
+  (Figure 11 "+Cond").
+
+Each configuration builds a fresh engine/policy pair per run (state is
+never shared across runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.arch.cond_engine import TerpArchEngine
+from repro.core.errors import ConfigurationError
+from repro.core.semantics import BasicSemantics, EwConsciousSemantics
+from repro.core.units import us
+from repro.sim.machine import Machine
+from repro.sim.policy import CompilerTerpPolicy, ManualMerrPolicy
+from repro.sim.stats import RunResult
+
+#: The paper's window targets.
+DEFAULT_EW_US = 40.0
+DEFAULT_TEW_US = 2.0
+
+
+@dataclass(frozen=True)
+class EvalConfig:
+    """One named scheme; ``build`` produces a ready Machine."""
+
+    key: str
+    label: str
+    ew_target_us: float = DEFAULT_EW_US
+    tew_target_us: float = DEFAULT_TEW_US
+
+    def build(self, pmo_sizes: Dict[str, int], *, seed: int = 2022) -> Machine:
+        ew = us(self.ew_target_us)
+        tew = us(self.tew_target_us)
+        if self.key == "MM":
+            return Machine(
+                engine=BasicSemantics(blocking=True),
+                policy_factory=lambda: ManualMerrPolicy(ew),
+                pmo_sizes=pmo_sizes,
+                randomize_on_reattach=True,
+                seed=seed)
+        if self.key == "TM":
+            # TM runs on the MERR architecture: conditional calls all
+            # trap, and real (re)attaches randomize placement.
+            return Machine(
+                engine=EwConsciousSemantics(ew),
+                policy_factory=lambda: CompilerTerpPolicy(tew),
+                pmo_sizes=pmo_sizes,
+                silent_ops_are_syscalls=True,
+                randomize_on_reattach=True,
+                seed=seed)
+        if self.key == "TT":
+            return Machine(
+                engine=TerpArchEngine(ew),
+                policy_factory=lambda: CompilerTerpPolicy(tew),
+                pmo_sizes=pmo_sizes,
+                seed=seed)
+        if self.key == "TT_BASIC":
+            return Machine(
+                engine=BasicSemantics(blocking=True),
+                policy_factory=lambda: CompilerTerpPolicy(tew),
+                pmo_sizes=pmo_sizes,
+                seed=seed)
+        if self.key == "TT_COND":
+            return Machine(
+                engine=TerpArchEngine(ew, window_combining=False),
+                policy_factory=lambda: CompilerTerpPolicy(tew),
+                pmo_sizes=pmo_sizes,
+                seed=seed)
+        raise ConfigurationError(f"unknown configuration {self.key!r}")
+
+
+def config(key: str, *, ew_target_us: float = DEFAULT_EW_US,
+           tew_target_us: float = DEFAULT_TEW_US) -> EvalConfig:
+    """Build a named configuration with the given window targets."""
+    labels = {
+        "MM": f"MERR insertion + MERR arch ({ew_target_us:g}us EW)",
+        "TM": f"TERP insertion + MERR arch ({ew_target_us:g}us EW, "
+              f"{tew_target_us:g}us TEW)",
+        "TT": f"TERP insertion + TERP arch ({ew_target_us:g}us EW, "
+              f"{tew_target_us:g}us TEW)",
+        "TT_BASIC": "TERP insertion, Basic semantics (Fig. 11)",
+        "TT_COND": "TERP arch without window combining (+Cond)",
+    }
+    if key not in labels:
+        raise ConfigurationError(f"unknown configuration {key!r}")
+    return EvalConfig(key=key, label=labels[key],
+                      ew_target_us=ew_target_us,
+                      tew_target_us=tew_target_us)

@@ -1,0 +1,54 @@
+"""Figure 10: SPEC single-thread multi-PMO execution-time overheads.
+
+Same bar structure as Figure 9 but over the SPEC benchmarks, where
+PMO accesses dominate and MM/TM overheads blow up (the paper's
+156% / >300% vs TERP's ~15%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.eval.configs import config
+from repro.eval.experiments.fig9 import Fig9Result, OverheadBar
+from repro.eval.runner import SPEC_DEFAULT_ITERS, run_spec
+from repro.workloads.spec.base import SPEC_NAMES
+
+FIG10_CONFIGS = [
+    ("MM (40us)", "MM", 40.0),
+    ("TM (40us)", "TM", 40.0),
+    ("TT (40us)", "TT", 40.0),
+    ("TT (80us)", "TT", 80.0),
+    ("TT (160us)", "TT", 160.0),
+]
+
+
+@dataclass
+class Fig10Result(Fig9Result):
+    def render(self) -> str:
+        text = super().render()
+        return text.replace("Figure 9: WHISPER", "Figure 10: SPEC")
+
+
+def run(*, n_iterations: int = SPEC_DEFAULT_ITERS,
+        names: Optional[List[str]] = None,
+        num_threads: int = 1,
+        seed: int = 2022) -> Fig10Result:
+    names = names or SPEC_NAMES
+    bars: Dict[str, List[OverheadBar]] = {}
+    for name in names:
+        bench_bars = []
+        for label, key, ew in FIG10_CONFIGS:
+            cfg = config(key, ew_target_us=ew)
+            result = run_spec(name, cfg, n_iterations=n_iterations,
+                              num_threads=num_threads, seed=seed)
+            bench_bars.append(OverheadBar(
+                label, result.overhead_percent,
+                result.overhead_breakdown_percent()))
+        bars[name] = bench_bars
+    return Fig10Result(bars)
+
+
+if __name__ == "__main__":
+    print(run(n_iterations=2_000).render())

@@ -1,0 +1,88 @@
+"""Figure 11: 4-thread SPEC results and the benefits breakdown.
+
+Three schemes at each EW target, all with TERP-style insertion:
+
+* **Basic semantics** — at most one thread can hold a PMO; other
+  threads block (the paper's ~800% bars);
+* **+Cond** — conditional instructions implementing EW-conscious
+  semantics (threads share PMOs) but no window combining;
+* **+CB** — the full TERP architecture with the circular buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.eval.configs import config
+from repro.eval.experiments.fig9 import OverheadBar
+from repro.eval.runner import SPEC_DEFAULT_ITERS, run_spec
+from repro.workloads.spec.base import SPEC_NAMES
+
+FIG11_CONFIGS = [
+    ("Basic semantics", "TT_BASIC", 40.0),
+    ("+Cond (40us)", "TT_COND", 40.0),
+    ("+CB (40us)", "TT", 40.0),
+    ("+CB (80us)", "TT", 80.0),
+    ("+CB (160us)", "TT", 160.0),
+]
+
+
+@dataclass
+class Fig11Result:
+    bars: Dict[str, List[OverheadBar]]
+    blocked_ns: Dict[str, int]
+
+    def averages(self) -> List[OverheadBar]:
+        labels = [b.label for b in next(iter(self.bars.values()))]
+        out = []
+        n = len(self.bars)
+        for i, label in enumerate(labels):
+            total = sum(bars[i].total_percent
+                        for bars in self.bars.values()) / n
+            out.append(OverheadBar(label, total, {}))
+        return out
+
+    def config_total(self, label: str) -> float:
+        for bar in self.averages():
+            if bar.label == label:
+                return bar.total_percent
+        raise KeyError(label)
+
+    def render(self) -> str:
+        from repro.eval.tables import render_grouped_bars
+        series = {}
+        for name, bars in list(self.bars.items()) + [
+                ("avg", self.averages())]:
+            series[name] = {bar.label: bar.total_percent for bar in bars}
+        return render_grouped_bars(
+            series,
+            title="Figure 11: 4-thread SPEC overheads "
+                  "(Basic vs +Cond vs +CB)",
+            bar_scale=0.2)
+
+
+def run(*, n_iterations: int = SPEC_DEFAULT_ITERS,
+        names: Optional[List[str]] = None,
+        num_threads: int = 4,
+        seed: int = 2022) -> Fig11Result:
+    names = names or SPEC_NAMES
+    bars: Dict[str, List[OverheadBar]] = {}
+    blocked: Dict[str, int] = {}
+    for name in names:
+        bench_bars = []
+        for label, key, ew in FIG11_CONFIGS:
+            cfg = config(key, ew_target_us=ew)
+            result = run_spec(name, cfg, n_iterations=n_iterations,
+                              num_threads=num_threads, seed=seed)
+            bench_bars.append(OverheadBar(
+                label, result.overhead_percent,
+                result.overhead_breakdown_percent()))
+            if key == "TT_BASIC":
+                blocked[name] = result.blocked_ns
+        bars[name] = bench_bars
+    return Fig11Result(bars, blocked)
+
+
+if __name__ == "__main__":
+    print(run(n_iterations=1_000).render())

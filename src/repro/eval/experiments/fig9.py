@@ -1,0 +1,92 @@
+"""Figure 9: WHISPER execution-time overheads.
+
+Bars: MM(40us), TM(40us), and TT at 40/80/160µs EW targets, each
+broken down into attach / detach / rand / cond / other components, as
+percentages over the unprotected baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.eval.configs import config
+from repro.eval.runner import WHISPER_DEFAULT_TXS, run_whisper
+from repro.eval.tables import render_grouped_bars
+from repro.workloads.whisper.benchmarks import WHISPER_NAMES
+
+#: The configurations plotted, in the figure's order.
+FIG9_CONFIGS = [
+    ("MM (40us)", "MM", 40.0),
+    ("TM (40us)", "TM", 40.0),
+    ("TT (40us)", "TT", 40.0),
+    ("TT (80us)", "TT", 80.0),
+    ("TT (160us)", "TT", 160.0),
+]
+
+
+@dataclass
+class OverheadBar:
+    label: str
+    total_percent: float
+    breakdown_percent: Dict[str, float]
+
+
+@dataclass
+class Fig9Result:
+    #: benchmark -> [bars in FIG9_CONFIGS order]
+    bars: Dict[str, List[OverheadBar]]
+
+    def averages(self) -> List[OverheadBar]:
+        labels = [b.label for b in next(iter(self.bars.values()))]
+        out = []
+        for i, label in enumerate(labels):
+            totals = [bars[i].total_percent for bars in self.bars.values()]
+            breakdowns: Dict[str, float] = {}
+            for bars in self.bars.values():
+                for cat, val in bars[i].breakdown_percent.items():
+                    breakdowns[cat] = breakdowns.get(cat, 0.0) + val
+            n = len(self.bars)
+            out.append(OverheadBar(
+                label, sum(totals) / n,
+                {cat: val / n for cat, val in breakdowns.items()}))
+        return out
+
+    def config_total(self, label: str) -> float:
+        """Average total overhead for one configuration label."""
+        for bar in self.averages():
+            if bar.label == label:
+                return bar.total_percent
+        raise KeyError(label)
+
+    def render(self) -> str:
+        series = {}
+        for name, bars in list(self.bars.items()) + [
+                ("avg", self.averages())]:
+            series[name] = {bar.label: bar.total_percent for bar in bars}
+        return render_grouped_bars(
+            series, title="Figure 9: WHISPER overhead vs unprotected "
+                          "(breakdown available per bar)")
+
+
+def run(*, n_transactions: int = WHISPER_DEFAULT_TXS,
+        names: Optional[List[str]] = None,
+        seed: int = 2022) -> Fig9Result:
+    names = names or WHISPER_NAMES
+    bars: Dict[str, List[OverheadBar]] = {}
+    for name in names:
+        bench_bars = []
+        for label, key, ew in FIG9_CONFIGS:
+            cfg = config(key, ew_target_us=ew)
+            result = run_whisper(name, cfg,
+                                 n_transactions=n_transactions,
+                                 seed=seed)
+            bench_bars.append(OverheadBar(
+                label, result.overhead_percent,
+                result.overhead_breakdown_percent()))
+        bars[name] = bench_bars
+    return Fig9Result(bars)
+
+
+if __name__ == "__main__":
+    print(run(n_transactions=3_000).render())

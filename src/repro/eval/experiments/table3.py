@@ -1,0 +1,101 @@
+"""Table III: WHISPER results with target EW = 40µs.
+
+For each WHISPER benchmark, runs MM and TT and reports MERR's
+avg/max EW and ER against TERP's Silent%, EW, ER, TEW, and TER —
+the same columns as the paper's table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.eval.configs import config
+from repro.eval.runner import WHISPER_DEFAULT_TXS, run_whisper
+from repro.eval.tables import render_table
+from repro.workloads.whisper.benchmarks import WHISPER_NAMES
+
+
+@dataclass
+class Table3Row:
+    name: str
+    mm_ew_avg_us: float
+    mm_ew_max_us: float
+    mm_er_percent: float
+    tt_silent_percent: float
+    tt_ew_avg_us: float
+    tt_ew_max_us: float
+    tt_er_percent: float
+    tt_tew_us: float
+    tt_ter_percent: float
+
+
+@dataclass
+class Table3Result:
+    rows: List[Table3Row]
+
+    def averages(self) -> Table3Row:
+        n = len(self.rows)
+
+        def avg(attr: str) -> float:
+            return sum(getattr(r, attr) for r in self.rows) / n
+
+        return Table3Row("Avg.",
+                         avg("mm_ew_avg_us"), avg("mm_ew_max_us"),
+                         avg("mm_er_percent"), avg("tt_silent_percent"),
+                         avg("tt_ew_avg_us"), avg("tt_ew_max_us"),
+                         avg("tt_er_percent"), avg("tt_tew_us"),
+                         avg("tt_ter_percent"))
+
+    def render(self) -> str:
+        headers = ["Prog.", "MM EW avg/max (us)", "MM ER(%)",
+                   "TT Silent(%)", "TT EW avg/max (us)", "TT ER(%)",
+                   "TT TEW(us)", "TT TER(%)"]
+        body = []
+        for r in self.rows + [self.averages()]:
+            body.append([
+                r.name,
+                f"{r.mm_ew_avg_us:.1f}/{r.mm_ew_max_us:.1f}",
+                f"{r.mm_er_percent:.1f}",
+                f"{r.tt_silent_percent:.1f}",
+                f"{r.tt_ew_avg_us:.1f}/{r.tt_ew_max_us:.1f}",
+                f"{r.tt_er_percent:.1f}",
+                f"{r.tt_tew_us:.1f}",
+                f"{r.tt_ter_percent:.1f}",
+            ])
+        return render_table(
+            headers, body,
+            title="Table III: WHISPER results, target EW = 40us")
+
+
+def run(*, n_transactions: int = WHISPER_DEFAULT_TXS,
+        names: Optional[List[str]] = None,
+        seed: int = 2022) -> Table3Result:
+    names = names or WHISPER_NAMES
+    mm_cfg = config("MM")
+    tt_cfg = config("TT")
+    rows = []
+    for name in names:
+        mm = run_whisper(name, mm_cfg, n_transactions=n_transactions,
+                         seed=seed)
+        tt = run_whisper(name, tt_cfg, n_transactions=n_transactions,
+                         seed=seed)
+        mm_pmo = mm.per_pmo[0]
+        tt_pmo = tt.per_pmo[0]
+        rows.append(Table3Row(
+            name=name,
+            mm_ew_avg_us=mm_pmo.ew_avg_us,
+            mm_ew_max_us=mm_pmo.ew_max_us,
+            mm_er_percent=mm_pmo.er_percent,
+            tt_silent_percent=tt.silent_percent,
+            tt_ew_avg_us=tt_pmo.ew_avg_us,
+            tt_ew_max_us=tt_pmo.ew_max_us,
+            tt_er_percent=tt_pmo.er_percent,
+            tt_tew_us=tt_pmo.tew_avg_us,
+            tt_ter_percent=tt_pmo.ter_percent,
+        ))
+    return Table3Result(rows)
+
+
+if __name__ == "__main__":
+    print(run(n_transactions=5_000).render())

@@ -1,0 +1,94 @@
+"""Table IV: SPEC multi-PMO single-thread results at 40µs EW."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.eval.configs import config
+from repro.eval.runner import SPEC_DEFAULT_ITERS, run_spec
+from repro.eval.tables import render_table
+from repro.workloads.spec.base import SPEC_NAMES, SPEC_SPECS
+
+
+@dataclass
+class Table4Row:
+    name: str
+    n_pmos: int
+    mm_ew_avg_us: float
+    mm_ew_max_us: float
+    mm_er_percent: float
+    tt_silent_percent: float
+    tt_ew_avg_us: float
+    tt_ew_max_us: float
+    tt_er_percent: float
+    tt_tew_us: float
+    tt_ter_percent: float
+
+
+@dataclass
+class Table4Result:
+    rows: List[Table4Row]
+
+    def averages(self) -> Table4Row:
+        n = len(self.rows)
+
+        def avg(attr: str) -> float:
+            return sum(getattr(r, attr) for r in self.rows) / n
+
+        return Table4Row("Avg.", round(avg("n_pmos"), 1),
+                         avg("mm_ew_avg_us"), avg("mm_ew_max_us"),
+                         avg("mm_er_percent"), avg("tt_silent_percent"),
+                         avg("tt_ew_avg_us"), avg("tt_ew_max_us"),
+                         avg("tt_er_percent"), avg("tt_tew_us"),
+                         avg("tt_ter_percent"))
+
+    def render(self) -> str:
+        headers = ["Prog.", "#PMOs", "MM EW avg/max", "MM ER(%)",
+                   "TT Silent(%)", "TT EW avg/max", "TT ER(%)",
+                   "TT TEW(us)", "TT TER(%)"]
+        body = []
+        for r in self.rows + [self.averages()]:
+            body.append([
+                r.name, r.n_pmos,
+                f"{r.mm_ew_avg_us:.1f}/{r.mm_ew_max_us:.1f}",
+                f"{r.mm_er_percent:.1f}",
+                f"{r.tt_silent_percent:.1f}",
+                f"{r.tt_ew_avg_us:.1f}/{r.tt_ew_max_us:.1f}",
+                f"{r.tt_er_percent:.1f}",
+                f"{r.tt_tew_us:.2f}",
+                f"{r.tt_ter_percent:.1f}",
+            ])
+        return render_table(
+            headers, body,
+            title="Table IV: SPEC results, 40us EW (avg over all PMOs)")
+
+
+def run(*, n_iterations: int = SPEC_DEFAULT_ITERS,
+        names: Optional[List[str]] = None,
+        seed: int = 2022) -> Table4Result:
+    names = names or SPEC_NAMES
+    mm_cfg = config("MM")
+    tt_cfg = config("TT")
+    rows = []
+    for name in names:
+        mm = run_spec(name, mm_cfg, n_iterations=n_iterations, seed=seed)
+        tt = run_spec(name, tt_cfg, n_iterations=n_iterations, seed=seed)
+        rows.append(Table4Row(
+            name=name,
+            n_pmos=SPEC_SPECS[name].n_pmos,
+            mm_ew_avg_us=mm.ew_avg_us,
+            mm_ew_max_us=mm.ew_max_us,
+            mm_er_percent=mm.er_percent,
+            tt_silent_percent=tt.silent_percent,
+            tt_ew_avg_us=tt.ew_avg_us,
+            tt_ew_max_us=tt.ew_max_us,
+            tt_er_percent=tt.er_percent,
+            tt_tew_us=tt.tew_avg_us,
+            tt_ter_percent=tt.ter_percent,
+        ))
+    return Table4Result(rows)
+
+
+if __name__ == "__main__":
+    print(run(n_iterations=3_000).render())

@@ -1,0 +1,59 @@
+"""Plain-text table/figure rendering for the experiment drivers.
+
+Every experiment returns structured rows; these helpers print them in
+the layout of the corresponding paper table or figure so a terminal
+run reads like the original.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 *, title: str = "") -> str:
+    """Fixed-width table with a header rule."""
+    cols = len(headers)
+    widths = [len(str(h)) for h in headers]
+    text_rows = []
+    for row in rows:
+        text_row = [_fmt(cell) for cell in row]
+        text_rows.append(text_row)
+        for i in range(cols):
+            widths[i] = max(widths[i], len(text_row[i]))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(widths[i])
+                           for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(cols)))
+    for text_row in text_rows:
+        lines.append("  ".join(text_row[i].ljust(widths[i])
+                               for i in range(cols)))
+    return "\n".join(lines)
+
+
+def render_grouped_bars(series: Dict[str, Dict[str, float]], *,
+                        title: str = "", unit: str = "%",
+                        bar_scale: float = 1.0) -> str:
+    """ASCII grouped bars: {group: {series_name: value}}.
+
+    Used for the overhead figures: groups are benchmarks, series are
+    configurations.
+    """
+    lines = [title] if title else []
+    name_width = max((len(n) for g in series.values() for n in g),
+                     default=8)
+    for group, bars in series.items():
+        lines.append(f"{group}:")
+        for name, value in bars.items():
+            bar = "#" * max(1, int(round(value * bar_scale)))
+            lines.append(f"  {name.ljust(name_width)} "
+                         f"{value:8.2f}{unit} {bar}")
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}" if abs(cell) < 1000 else f"{cell:.0f}"
+    return str(cell)

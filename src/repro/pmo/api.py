@@ -1,0 +1,151 @@
+"""The Table I pool API, as a user-facing facade.
+
+This module packages the substrates into the exact interface prior PMO
+work describes (Table I): ``PMO_create``, ``PMO_open``, ``PMO_close``,
+``pmalloc``, ``pfree``, ``oid_direct``, ``attach``, ``detach``.  It is
+the API the examples and workloads program against.
+
+A :class:`PmoLibrary` owns one process's TERP runtime.  Because the
+reproduction is a simulation, the library also carries a manual clock
+(:attr:`clock_ns`, advanced with :meth:`tick`) and a current-thread
+context (:meth:`thread`) so multi-threaded usage can be expressed in
+plain sequential test code.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import struct
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.core.errors import PmoError, TerpError
+from repro.core.permissions import Access
+from repro.core.runtime import AttachResult, Handle, TerpRuntime
+from repro.core.semantics import EwConsciousSemantics, SemanticsEngine
+from repro.core.units import us
+from repro.pmo.object_id import Oid
+from repro.pmo.pmo import Pmo
+from repro.pmo.pool import PmoManager
+
+
+class PmoLibrary:
+    """One process's view of the PMO system (Table I operations)."""
+
+    def __init__(self, *, semantics: Optional[SemanticsEngine] = None,
+                 ew_target_us: float = 40.0, seed: int = 2022,
+                 strict: bool = True) -> None:
+        if semantics is None:
+            semantics = EwConsciousSemantics(us(ew_target_us))
+        self.runtime = TerpRuntime(
+            semantics, rng=np.random.default_rng(seed), strict=strict)
+        self.clock_ns = 0
+        self._thread_id = 0
+
+    # -- simulation plumbing ---------------------------------------------
+
+    def tick(self, delta_ns: int = 1) -> int:
+        """Advance the manual clock (simulated computation time)."""
+        if delta_ns < 0:
+            raise TerpError("cannot tick backwards")
+        self.clock_ns += delta_ns
+        return self.clock_ns
+
+    @contextlib.contextmanager
+    def thread(self, thread_id: int) -> Iterator[None]:
+        """Run the enclosed calls as ``thread_id``."""
+        previous = self._thread_id
+        self._thread_id = thread_id
+        try:
+            yield
+        finally:
+            self._thread_id = previous
+
+    @property
+    def manager(self) -> PmoManager:
+        return self.runtime.manager
+
+    # -- Table I API -------------------------------------------------------
+
+    def PMO_create(self, name: str, size: int, mode: int = 0o600,
+                   *, owner: str = "root") -> Pmo:
+        """Create a PMO with the specified size; the caller owns it."""
+        return self.manager.create(name, size, owner=owner, mode=mode)
+
+    def PMO_open(self, name: str, requested: Access = Access.RW,
+                 *, user: str = "root") -> Pmo:
+        """Reopen a PMO by name that was previously created."""
+        return self.manager.open(name, user=user, requested=requested)
+
+    def PMO_close(self, pmo: Pmo) -> None:
+        """Close a PMO (drops one open reference)."""
+        self.manager.close(pmo)
+
+    def pmalloc(self, pmo: Pmo, size: int) -> Oid:
+        """Allocate persistent data on ``pmo``; returns its OID."""
+        return pmo.pmalloc(size)
+
+    def pfree(self, oid: Oid) -> None:
+        """Free persistent data pointed to by the OID."""
+        self.manager.get(oid.pool_id).pfree(oid)
+
+    def oid_direct(self, oid: Oid) -> int:
+        """Translate an OID to its current virtual address.
+
+        Requires the owning PMO to be attached; this is the
+        relocatable-pointer path every PMO access goes through.
+        """
+        pmo = self.manager.get(oid.pool_id)
+        return self.runtime.space.va_of(pmo.pmo_id, oid.offset)
+
+    def attach(self, pmo: Pmo, permission: Access = Access.RW) -> Handle:
+        """Memory-map an opened PMO with the requested permission."""
+        result = self.runtime.attach(self._thread_id, pmo, permission,
+                                     self.clock_ns)
+        if not result.ok:
+            raise PmoError(f"attach failed: {result.decision.reason}")
+        return result.handle
+
+    def detach(self, pmo: Pmo) -> None:
+        """Unmap an attached PMO from the process address space."""
+        self.runtime.detach(self._thread_id, pmo, self.clock_ns)
+
+    # -- guarded data access -------------------------------------------------
+
+    def read(self, oid: Oid, n: int) -> bytes:
+        """Checked read: semantics- and permission-validated."""
+        pmo = self.manager.get(oid.pool_id)
+        self.runtime.access(self._thread_id, pmo, oid.offset, Access.READ,
+                            self.clock_ns)
+        return pmo.read(oid.offset, n)
+
+    def write(self, oid: Oid, data: bytes) -> None:
+        """Checked write."""
+        pmo = self.manager.get(oid.pool_id)
+        self.runtime.access(self._thread_id, pmo, oid.offset, Access.WRITE,
+                            self.clock_ns)
+        pmo.write(oid.offset, data)
+
+    def read_u64(self, oid: Oid) -> int:
+        return struct.unpack("<Q", self.read(oid, 8))[0]
+
+    def write_u64(self, oid: Oid, value: int) -> None:
+        self.write(oid, struct.pack("<Q", value & ((1 << 64) - 1)))
+
+    # -- file persistence -------------------------------------------------
+
+    def save(self, pmo: Pmo, path) -> int:
+        """Serialize a PMO's persistent bytes to a file."""
+        from repro.pmo.serialize import save_pmo
+        return save_pmo(pmo, path)
+
+    def load(self, path) -> Pmo:
+        """Load a PMO file into this library's namespace.
+
+        The PMO goes through full crash recovery and keeps its
+        original id and name (both must be free here) — the id is
+        embedded in every OID stored inside the PMO's data.
+        """
+        from repro.pmo.serialize import load_pmo
+        return self.manager.adopt(load_pmo(path))

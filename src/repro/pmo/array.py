@@ -1,0 +1,116 @@
+"""Typed array views over PMO storage (``PmoArray``).
+
+The SPEC-style kernels work on large numeric arrays that the paper
+allocates as PMOs ("each heap object larger than 128KB as a PMO").
+:class:`PmoArray` gives them a numpy-typed window over a pmalloc'd
+region: reads and writes go through the PMO's byte storage (and its
+transaction log when one is open), so kernel data genuinely lives in
+persistent memory and survives crash/recover cycles.
+
+Element access is deliberately chunk-based (``load``/``store`` of
+slices) rather than a full ``__getitem__`` emulation of ndarray — the
+kernels read and write tiles, and a tile round-trip through the PMO
+is the realistic access pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.errors import PmoError
+from repro.pmo.object_id import Oid
+
+
+class PmoArray:
+    """A 1-D or 2-D typed array stored in a PMO allocation."""
+
+    def __init__(self, pmo, oid: Oid, shape: Tuple[int, ...],
+                 dtype=np.float64) -> None:
+        self.pmo = pmo
+        self.oid = oid
+        self.shape = tuple(int(s) for s in shape)
+        if not 1 <= len(self.shape) <= 2:
+            raise PmoError("PmoArray supports 1-D and 2-D shapes")
+        self.dtype = np.dtype(dtype)
+        self.size = int(np.prod(self.shape))
+        self.nbytes = self.size * self.dtype.itemsize
+
+    @classmethod
+    def create(cls, pmo, shape, dtype=np.float64) -> "PmoArray":
+        """Allocate the array on ``pmo`` (zero-initialized)."""
+        size = int(np.prod(shape)) * np.dtype(dtype).itemsize
+        oid = pmo.pmalloc(size)
+        return cls(pmo, oid, tuple(np.atleast_1d(shape)), dtype)
+
+    # -- flat helpers ---------------------------------------------------
+
+    def _check_range(self, start: int, count: int) -> None:
+        if not 0 <= start <= start + count <= self.size:
+            raise PmoError(
+                f"range [{start}, {start + count}) outside array of "
+                f"{self.size} elements")
+
+    def _flat_offset(self, index: int) -> int:
+        return self.oid.offset + index * self.dtype.itemsize
+
+    # -- chunk I/O ----------------------------------------------------------
+
+    def load(self, start: int = 0,
+             count: Optional[int] = None) -> np.ndarray:
+        """Read ``count`` elements starting at flat index ``start``."""
+        count = self.size - start if count is None else count
+        self._check_range(start, count)
+        raw = self.pmo.read(self._flat_offset(start),
+                            count * self.dtype.itemsize)
+        return np.frombuffer(raw, dtype=self.dtype).copy()
+
+    def store(self, values: np.ndarray, start: int = 0) -> None:
+        """Write a flat chunk of elements at ``start``."""
+        values = np.ascontiguousarray(values, dtype=self.dtype).ravel()
+        self._check_range(start, values.size)
+        self.pmo.write(self._flat_offset(start), values.tobytes())
+
+    def load_all(self) -> np.ndarray:
+        return self.load().reshape(self.shape)
+
+    def store_all(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=self.dtype)
+        if values.shape != self.shape:
+            raise PmoError(
+                f"shape {values.shape} != array shape {self.shape}")
+        self.store(values.ravel())
+
+    # -- 2-D row access ---------------------------------------------------------
+
+    def _row_start(self, row: int) -> int:
+        if len(self.shape) != 2:
+            raise PmoError("row access requires a 2-D array")
+        rows, cols = self.shape
+        if not 0 <= row < rows:
+            raise PmoError(f"row {row} out of range")
+        return row * cols
+
+    def load_row(self, row: int) -> np.ndarray:
+        start = self._row_start(row)
+        return self.load(start, self.shape[1])
+
+    def store_row(self, row: int, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=self.dtype).ravel()
+        if values.size != self.shape[1]:
+            raise PmoError("row length mismatch")
+        self.store(values, self._row_start(row))
+
+    # -- scalar convenience ---------------------------------------------------
+
+    def get(self, index: int) -> float:
+        self._check_range(index, 1)
+        raw = self.pmo.read(self._flat_offset(index),
+                            self.dtype.itemsize)
+        return np.frombuffer(raw, dtype=self.dtype)[0].item()
+
+    def set(self, index: int, value) -> None:
+        self._check_range(index, 1)
+        self.pmo.write(self._flat_offset(index),
+                       np.asarray([value], dtype=self.dtype).tobytes())

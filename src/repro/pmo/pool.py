@@ -1,0 +1,127 @@
+"""PMO namespace and lifecycle management (Table I semantics).
+
+PMOs "can be managed by the OS similar to files (in terms of namespace
+and permission)": they are created with a name and a mode, reopened by
+name across runs, and access is checked against the owner and mode
+bits.  :class:`PmoManager` is that OS-side registry.  Pool ids start at
+1 — pool id 0 is reserved for ``Oid.NULL``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.errors import PmoError
+from repro.core.permissions import Access
+from repro.pmo.pmo import Pmo
+
+#: Mode bits, a deliberately file-like subset: owner rw, others rw.
+MODE_OWNER_READ = 0o400
+MODE_OWNER_WRITE = 0o200
+MODE_OTHER_READ = 0o004
+MODE_OTHER_WRITE = 0o002
+
+
+def mode_allows(mode: int, *, is_owner: bool, requested: Access) -> bool:
+    """Check a file-style mode against a requested access."""
+    read_bit = MODE_OWNER_READ if is_owner else MODE_OTHER_READ
+    write_bit = MODE_OWNER_WRITE if is_owner else MODE_OTHER_WRITE
+    if requested & Access.READ and not mode & read_bit:
+        return False
+    if requested & Access.WRITE and not mode & write_bit:
+        return False
+    return True
+
+
+class PmoManager:
+    """The system-wide registry of PMOs: create / open / close / destroy."""
+
+    def __init__(self) -> None:
+        self._by_name: Dict[str, Pmo] = {}
+        self._by_id: Dict[int, Pmo] = {}
+        self._open_count: Dict[int, int] = {}
+        self._next_id = 1
+
+    def create(self, name: str, size_bytes: int, *, owner: str = "root",
+               mode: int = 0o600) -> Pmo:
+        """``PMO_create``: make a new PMO; the caller becomes the owner."""
+        if name in self._by_name:
+            raise PmoError(f"PMO {name!r} already exists")
+        pmo = Pmo(self._next_id, name, size_bytes, owner=owner, mode=mode)
+        self._next_id += 1
+        self._by_name[name] = pmo
+        self._by_id[pmo.pmo_id] = pmo
+        self._open_count[pmo.pmo_id] = 1
+        return pmo
+
+    def adopt(self, pmo: Pmo) -> Pmo:
+        """Register an existing PMO (e.g. loaded from a file) under
+        its own id and name.
+
+        The id must be preserved because every OID stored inside the
+        PMO's data embeds it; a collision with a live PMO is an error.
+        """
+        if pmo.name in self._by_name:
+            raise PmoError(f"PMO {pmo.name!r} already exists")
+        if pmo.pmo_id in self._by_id:
+            raise PmoError(f"PMO id {pmo.pmo_id} already in use")
+        self._by_name[pmo.name] = pmo
+        self._by_id[pmo.pmo_id] = pmo
+        self._open_count[pmo.pmo_id] = 1
+        self._next_id = max(self._next_id, pmo.pmo_id + 1)
+        return pmo
+
+    def open(self, name: str, *, user: str = "root",
+             requested: Access = Access.RW) -> Pmo:
+        """``PMO_open``: reopen an existing PMO by name, checking mode."""
+        pmo = self._by_name.get(name)
+        if pmo is None:
+            raise PmoError(f"no PMO named {name!r}")
+        if not mode_allows(pmo.mode, is_owner=(user == pmo.owner),
+                           requested=requested):
+            raise PmoError(
+                f"user {user!r} denied {requested} on PMO {name!r}")
+        self._open_count[pmo.pmo_id] += 1
+        return pmo
+
+    def close(self, pmo: Pmo) -> None:
+        """``PMO_close``: drop one open reference."""
+        count = self._open_count.get(pmo.pmo_id, 0)
+        if count <= 0:
+            raise PmoError(f"PMO {pmo.name!r} is not open")
+        self._open_count[pmo.pmo_id] = count - 1
+
+    def destroy(self, name: str) -> None:
+        """Remove a PMO from the namespace; it must not be open."""
+        pmo = self._by_name.get(name)
+        if pmo is None:
+            raise PmoError(f"no PMO named {name!r}")
+        if self._open_count.get(pmo.pmo_id, 0) > 0:
+            raise PmoError(f"PMO {name!r} is still open")
+        del self._by_name[name]
+        del self._by_id[pmo.pmo_id]
+        del self._open_count[pmo.pmo_id]
+
+    def get(self, pmo_id: int) -> Pmo:
+        pmo = self._by_id.get(pmo_id)
+        if pmo is None:
+            raise PmoError(f"no PMO with id {pmo_id}")
+        return pmo
+
+    def exists(self, name: str) -> bool:
+        return name in self._by_name
+
+    def open_count(self, pmo: Pmo) -> int:
+        return self._open_count.get(pmo.pmo_id, 0)
+
+    def all_pmos(self) -> List[Pmo]:
+        return list(self._by_id.values())
+
+    def simulate_reboot(self) -> None:
+        """Crash every PMO and recover it — the cross-run persistence
+        path: names and bytes survive, volatile state is rebuilt."""
+        for pmo in self._by_id.values():
+            pmo.crash()
+            pmo.recover()
+        for pmo_id in self._open_count:
+            self._open_count[pmo_id] = 0

@@ -1,0 +1,5 @@
+"""Evaluation workloads: WHISPER, SPEC-style, and allocation traces."""
+
+from repro.workloads.heaplayers import all_dead_times_us, PROFILES
+
+__all__ = ["all_dead_times_us", "PROFILES"]

@@ -1,0 +1,20 @@
+"""Persistent data structures built on the PMO substrate.
+
+These are real implementations (bytes on a PMO, reachable from the
+PMO's root OID, crash-consistent via the redo log) of the data
+structures the WHISPER benchmarks exercise: a chained hash map, a
+crit-bit tree, an Echo-style versioned KV store, and TPC-C-style
+tables.  The simulator's access statistics are *measured* from these
+structures rather than invented.
+"""
+
+from repro.workloads.structures.counting import CountingPmo
+from repro.workloads.structures.hashmap import PersistentHashMap
+from repro.workloads.structures.ctree import CritBitTree
+from repro.workloads.structures.kvstore import VersionedKvStore
+from repro.workloads.structures.tpcc import TpccDatabase
+
+__all__ = [
+    "CountingPmo", "PersistentHashMap", "CritBitTree",
+    "VersionedKvStore", "TpccDatabase",
+]

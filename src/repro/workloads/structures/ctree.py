@@ -1,0 +1,280 @@
+"""A persistent crit-bit tree on a PMO (WHISPER's ``ctree``).
+
+A crit-bit (PATRICIA) trie over byte-string keys: internal nodes store
+the position of the first bit where their two subtrees differ, leaves
+store key/value pairs.  Lookups inspect O(key length) bits; inserts
+allocate one leaf and one internal node.
+
+Node layouts::
+
+    internal: [tag u8=1][pad][byte u32][otherbits u8][pad]
+              [child0 oid u64][child1 oid u64]
+    leaf:     [tag u8=0][pad][klen u32][vlen u32]
+              [key bytes][value bytes]
+
+All child links are packed OIDs; structural mutations run inside redo
+log transactions.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, Optional, Tuple
+
+from repro.core.errors import PmoError
+from repro.pmo.object_id import Oid
+
+_INTERNAL = struct.Struct("<BxxxIBxxxQQ")   # tag, byte, otherbits, c0, c1
+_LEAF_HDR = struct.Struct("<BxxxII")        # tag, klen, vlen
+_ROOT = struct.Struct("<QQQ")               # magic, root oid, size
+_MAGIC = 0x43545245455F3232                 # "CTREE_22"
+
+TAG_LEAF = 0
+TAG_INTERNAL = 1
+
+
+class CritBitTree:
+    """Crit-bit trie rooted at the PMO's root OID."""
+
+    def __init__(self, pmo, *, root: Optional[Oid] = None) -> None:
+        self.pmo = pmo
+        if root is None:
+            raise PmoError("use create() or open()")
+        self._root = root
+        magic = pmo.read_u64(root.offset)
+        if magic != _MAGIC:
+            raise PmoError("not a CritBitTree root")
+
+    @classmethod
+    def create(cls, pmo) -> "CritBitTree":
+        root = pmo.pmalloc(_ROOT.size)
+        pmo.write(root.offset, _ROOT.pack(_MAGIC, 0, 0))
+        pmo.root_oid = root
+        return cls(pmo, root=root)
+
+    @classmethod
+    def open(cls, pmo) -> "CritBitTree":
+        root = pmo.root_oid
+        if root.is_null():
+            raise PmoError("PMO has no root object")
+        return cls(pmo, root=root)
+
+    # -- persistent fields ------------------------------------------------
+
+    @property
+    def _top(self) -> Oid:
+        return Oid.unpack(self.pmo.read_u64(self._root.offset + 8))
+
+    def _set_top(self, oid: Oid) -> None:
+        self.pmo.write_u64(self._root.offset + 8, oid.pack())
+
+    def __len__(self) -> int:
+        return self.pmo.read_u64(self._root.offset + 16)
+
+    def _bump_size(self, delta: int) -> None:
+        self.pmo.write_u64(self._root.offset + 16, len(self) + delta)
+
+    # -- node I/O -----------------------------------------------------------
+
+    def _tag(self, oid: Oid) -> int:
+        return self.pmo.read(oid.offset, 1)[0]
+
+    def _read_internal(self, oid: Oid) -> Tuple[int, int, Oid, Oid]:
+        _, byte, otherbits, c0, c1 = _INTERNAL.unpack(
+            self.pmo.read(oid.offset, _INTERNAL.size))
+        return byte, otherbits, Oid.unpack(c0), Oid.unpack(c1)
+
+    def _read_leaf(self, oid: Oid) -> Tuple[bytes, bytes]:
+        _, klen, vlen = _LEAF_HDR.unpack(
+            self.pmo.read(oid.offset, _LEAF_HDR.size))
+        key = self.pmo.read(oid.offset + _LEAF_HDR.size, klen)
+        value = self.pmo.read(oid.offset + _LEAF_HDR.size + klen, vlen)
+        return key, value
+
+    def _new_leaf(self, key: bytes, value: bytes) -> Oid:
+        oid = self.pmo.pmalloc(_LEAF_HDR.size + len(key) + len(value))
+        self.pmo.write(oid.offset, _LEAF_HDR.pack(TAG_LEAF, len(key),
+                                                  len(value)) + key + value)
+        return oid
+
+    def _new_internal(self, byte: int, otherbits: int, c0: Oid,
+                      c1: Oid) -> Oid:
+        oid = self.pmo.pmalloc(_INTERNAL.size)
+        self.pmo.write(oid.offset, _INTERNAL.pack(
+            TAG_INTERNAL, byte, otherbits, c0.pack(), c1.pack()))
+        return oid
+
+    # -- crit-bit mechanics ----------------------------------------------------
+
+    @staticmethod
+    def _direction(key: bytes, byte: int, otherbits: int) -> int:
+        c = key[byte] if byte < len(key) else 0
+        return 1 if (1 + (otherbits | c)) >> 8 else 0
+
+    def _walk_to_leaf(self, key: bytes) -> Oid:
+        oid = self._top
+        while self._tag(oid) == TAG_INTERNAL:
+            byte, otherbits, c0, c1 = self._read_internal(oid)
+            oid = c1 if self._direction(key, byte, otherbits) else c0
+        return oid
+
+    # -- tree API -----------------------------------------------------------------
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        if self._top.is_null():
+            return None
+        leaf = self._walk_to_leaf(key)
+        lkey, lvalue = self._read_leaf(leaf)
+        return lvalue if lkey == key else None
+
+    def insert(self, key: bytes, value: bytes) -> None:
+        """Insert or update (crash-consistent)."""
+        self._stale_leaf: Optional[Oid] = None
+        self.pmo.begin_tx()
+        try:
+            self._insert_locked(key, value)
+            self.pmo.commit_tx()
+        except Exception:
+            if self.pmo.log.in_transaction:
+                self.pmo.abort_tx()
+            raise
+        if self._stale_leaf is not None:
+            self.pmo.pfree(self._stale_leaf)
+            self._stale_leaf = None
+
+    def _insert_locked(self, key: bytes, value: bytes) -> None:
+        if self._top.is_null():
+            self._set_top(self._new_leaf(key, value))
+            self._bump_size(+1)
+            return
+        best = self._walk_to_leaf(key)
+        bkey, bvalue = self._read_leaf(best)
+        if bkey == key:
+            # Update: same-size in place, otherwise replace the leaf.
+            if len(bvalue) == len(value):
+                self.pmo.write(best.offset + _LEAF_HDR.size + len(key),
+                               value)
+                return
+            new_leaf = self._new_leaf(key, value)
+            self._replace_child(key, best, new_leaf)
+            self._stale_leaf = best   # freed after the tx commits
+            return
+        # Find the critical bit between key and bkey.
+        byte, otherbits = self._critical_bit(key, bkey)
+        newdir = self._direction(bkey, byte, otherbits)
+        leaf = self._new_leaf(key, value)
+        # Walk again to find the insertion point (topmost node whose
+        # crit-bit is below the new one).
+        parent: Optional[Oid] = None
+        parent_dir = 0
+        oid = self._top
+        while self._tag(oid) == TAG_INTERNAL:
+            nbyte, nother, c0, c1 = self._read_internal(oid)
+            # Stop when this node's crit-bit is less significant than
+            # the new one (djb's condition: byte, then otherbits).
+            if (nbyte, nother) > (byte, otherbits):
+                break
+            parent = oid
+            parent_dir = self._direction(key, nbyte, nother)
+            oid = c1 if parent_dir else c0
+        children = (leaf, oid) if newdir else (oid, leaf)
+        node = self._new_internal(byte, otherbits, children[0], children[1])
+        if parent is None:
+            self._set_top(node)
+        else:
+            self._set_internal_child(parent, parent_dir, node)
+        self._bump_size(+1)
+
+    def _set_internal_child(self, oid: Oid, direction: int,
+                            child: Oid) -> None:
+        offset = oid.offset + _INTERNAL.size - 16 + 8 * direction
+        self.pmo.write_u64(offset, child.pack())
+
+    def _replace_child(self, key: bytes, old: Oid, new: Oid) -> None:
+        if self._top == old:
+            self._set_top(new)
+            return
+        oid = self._top
+        while self._tag(oid) == TAG_INTERNAL:
+            byte, otherbits, c0, c1 = self._read_internal(oid)
+            direction = self._direction(key, byte, otherbits)
+            child = c1 if direction else c0
+            if child == old:
+                self._set_internal_child(oid, direction, new)
+                return
+            oid = child
+        raise PmoError("leaf to replace not found")
+
+    @staticmethod
+    def _critical_bit(a: bytes, b: bytes) -> Tuple[int, int]:
+        length = max(len(a), len(b))
+        for byte in range(length):
+            ca = a[byte] if byte < len(a) else 0
+            cb = b[byte] if byte < len(b) else 0
+            if ca != cb:
+                diff = ca ^ cb
+                # Isolate the most significant differing bit,
+                # expressed crit-bit style as inverted mask.
+                while diff & (diff - 1):
+                    diff &= diff - 1
+                return byte, diff ^ 0xFF
+        raise PmoError("keys are identical")
+
+    def delete(self, key: bytes) -> bool:
+        if self._top.is_null():
+            return False
+        self._dead_nodes = []
+        self.pmo.begin_tx()
+        try:
+            removed = self._delete_locked(key)
+            self.pmo.commit_tx()
+        except Exception:
+            if self.pmo.log.in_transaction:
+                self.pmo.abort_tx()
+            raise
+        for oid in self._dead_nodes:
+            self.pmo.pfree(oid)
+        self._dead_nodes = []
+        return removed
+
+    def _delete_locked(self, key: bytes) -> bool:
+        grand: Optional[Oid] = None
+        grand_dir = 0
+        parent: Optional[Oid] = None
+        parent_dir = 0
+        oid = self._top
+        while self._tag(oid) == TAG_INTERNAL:
+            byte, otherbits, c0, c1 = self._read_internal(oid)
+            direction = self._direction(key, byte, otherbits)
+            grand, grand_dir = parent, parent_dir
+            parent, parent_dir = oid, direction
+            oid = c1 if direction else c0
+        lkey, _ = self._read_leaf(oid)
+        if lkey != key:
+            return False
+        if parent is None:
+            self._set_top(Oid.NULL)
+        else:
+            _, _, c0, c1 = self._read_internal(parent)
+            sibling = c0 if parent_dir else c1
+            if grand is None:
+                self._set_top(sibling)
+            else:
+                self._set_internal_child(grand, grand_dir, sibling)
+            self._dead_nodes.append(parent)
+        self._dead_nodes.append(oid)
+        self._bump_size(-1)
+        return True
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        """In-order iteration (sorted by key bits)."""
+        def rec(oid: Oid):
+            if oid.is_null():
+                return
+            if self._tag(oid) == TAG_LEAF:
+                yield self._read_leaf(oid)
+            else:
+                _, _, c0, c1 = self._read_internal(oid)
+                yield from rec(c0)
+                yield from rec(c1)
+        yield from rec(self._top)

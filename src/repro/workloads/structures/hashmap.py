@@ -1,0 +1,188 @@
+"""A persistent chained hash map on a PMO (WHISPER's ``hashmap``).
+
+Layout (all offsets are within the owning PMO, linked by packed OIDs):
+
+* **header** (from the PMO root OID): magic, bucket count, size;
+* **bucket array**: ``nbuckets`` packed OIDs, each the head of a chain;
+* **entry nodes**: ``[next_oid u64][hash u64][klen u32][vlen u32]
+  [key bytes][value bytes]``.
+
+The map is fully persistent: every pointer is an OID, so the structure
+survives reattachment at a different base address and crash-recovery
+(structural updates run inside redo-log transactions).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, Optional, Tuple
+
+from repro.core.errors import PmoError
+from repro.pmo.object_id import Oid
+
+_HEADER = struct.Struct("<QQQ")            # magic, nbuckets, size
+_ENTRY_HDR = struct.Struct("<QQII")        # next, hash, klen, vlen
+_MAGIC = 0x48534D41505F3232                # "HSMAP_22"
+
+
+def _fnv1a(data: bytes) -> int:
+    """FNV-1a 64-bit — a stable, dependency-free hash for keys."""
+    h = 0xCBF29CE484222325
+    for byte in data:
+        h ^= byte
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+class PersistentHashMap:
+    """Chained hash map rooted at the PMO's root OID."""
+
+    def __init__(self, pmo, *, root: Optional[Oid] = None) -> None:
+        self.pmo = pmo
+        if root is not None:
+            self._root = root
+            magic, self.nbuckets, _ = _HEADER.unpack(
+                pmo.read(root.offset, _HEADER.size))
+            if magic != _MAGIC:
+                raise PmoError("not a PersistentHashMap root")
+        else:
+            raise PmoError("use create() or open()")
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @classmethod
+    def create(cls, pmo, nbuckets: int = 1024) -> "PersistentHashMap":
+        """Format a new map on ``pmo`` and point the PMO root at it."""
+        root = pmo.pmalloc(_HEADER.size + 8 * nbuckets)
+        pmo.write(root.offset, _HEADER.pack(_MAGIC, nbuckets, 0))
+        pmo.write(root.offset + _HEADER.size, b"\x00" * (8 * nbuckets))
+        pmo.root_oid = root
+        return cls(pmo, root=root)
+
+    @classmethod
+    def open(cls, pmo) -> "PersistentHashMap":
+        """Reopen the map a previous run created (root OID on the PMO)."""
+        root = pmo.root_oid
+        if root.is_null():
+            raise PmoError("PMO has no root object")
+        return cls(pmo, root=root)
+
+    # -- internals -------------------------------------------------------------
+
+    def _bucket_offset(self, index: int) -> int:
+        return self._root.offset + _HEADER.size + 8 * index
+
+    def _bucket_head(self, index: int) -> Oid:
+        return Oid.unpack(self.pmo.read_u64(self._bucket_offset(index)))
+
+    def _set_bucket_head(self, index: int, oid: Oid) -> None:
+        self.pmo.write_u64(self._bucket_offset(index), oid.pack())
+
+    def _read_entry(self, oid: Oid) -> Tuple[Oid, int, bytes, bytes]:
+        nxt, h, klen, vlen = _ENTRY_HDR.unpack(
+            self.pmo.read(oid.offset, _ENTRY_HDR.size))
+        key = self.pmo.read(oid.offset + _ENTRY_HDR.size, klen)
+        value = self.pmo.read(oid.offset + _ENTRY_HDR.size + klen, vlen)
+        return Oid.unpack(nxt), h, key, value
+
+    def _write_entry(self, key: bytes, value: bytes, nxt: Oid,
+                     h: int) -> Oid:
+        oid = self.pmo.pmalloc(_ENTRY_HDR.size + len(key) + len(value))
+        self.pmo.write(oid.offset, _ENTRY_HDR.pack(
+            nxt.pack(), h, len(key), len(value)) + key + value)
+        return oid
+
+    def _size_offset(self) -> int:
+        return self._root.offset + 16
+
+    # -- map API -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.pmo.read_u64(self._size_offset())
+
+    def _bump_size(self, delta: int) -> None:
+        self.pmo.write_u64(self._size_offset(), len(self) + delta)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or update, crash-consistently."""
+        h = _fnv1a(key)
+        index = h % self.nbuckets
+        self.pmo.begin_tx()
+        try:
+            head = self._bucket_head(index)
+            # Update in place (same-size value) or unlink + relink.
+            oid = head
+            prev: Optional[Oid] = None
+            while not oid.is_null():
+                nxt, eh, ekey, evalue = self._read_entry(oid)
+                if eh == h and ekey == key:
+                    if len(evalue) == len(value):
+                        self.pmo.write(
+                            oid.offset + _ENTRY_HDR.size + len(key), value)
+                        self.pmo.commit_tx()
+                        return
+                    # Size changed: replace the node.
+                    new = self._write_entry(key, value, nxt, h)
+                    if prev is None:
+                        self._set_bucket_head(index, new)
+                    else:
+                        self.pmo.write_u64(prev.offset, new.pack())
+                    self.pmo.commit_tx()
+                    self.pmo.pfree(oid)
+                    return
+                prev, oid = oid, nxt
+            new = self._write_entry(key, value, head, h)
+            self._set_bucket_head(index, new)
+            self._bump_size(+1)
+            self.pmo.commit_tx()
+        except Exception:
+            if self.pmo.log.in_transaction:
+                self.pmo.abort_tx()
+            raise
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        h = _fnv1a(key)
+        oid = self._bucket_head(h % self.nbuckets)
+        while not oid.is_null():
+            nxt, eh, ekey, evalue = self._read_entry(oid)
+            if eh == h and ekey == key:
+                return evalue
+            oid = nxt
+        return None
+
+    def delete(self, key: bytes) -> bool:
+        h = _fnv1a(key)
+        index = h % self.nbuckets
+        self.pmo.begin_tx()
+        try:
+            oid = self._bucket_head(index)
+            prev: Optional[Oid] = None
+            while not oid.is_null():
+                nxt, eh, ekey, _ = self._read_entry(oid)
+                if eh == h and ekey == key:
+                    if prev is None:
+                        self._set_bucket_head(index, nxt)
+                    else:
+                        self.pmo.write_u64(prev.offset, nxt.pack())
+                    self._bump_size(-1)
+                    self.pmo.commit_tx()
+                    self.pmo.pfree(oid)
+                    return True
+                prev, oid = oid, nxt
+            self.pmo.commit_tx()
+            return False
+        except Exception:
+            if self.pmo.log.in_transaction:
+                self.pmo.abort_tx()
+            raise
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        for index in range(self.nbuckets):
+            oid = self._bucket_head(index)
+            while not oid.is_null():
+                nxt, _, key, value = self._read_entry(oid)
+                yield key, value
+                oid = nxt
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.get(key) is not None

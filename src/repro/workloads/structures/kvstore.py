@@ -1,0 +1,173 @@
+"""An Echo-style versioned key-value store on a PMO.
+
+Echo (WHISPER) is a persistent KV store with multi-version entries: a
+``put`` appends a new version rather than overwriting, and ``get``
+returns the newest committed version; old versions remain readable
+until garbage-collected.  Redis-style usage maps onto the same store
+with GC after every update (single-version behaviour).
+
+Structure on the PMO:
+
+* a :class:`~repro.workloads.structures.hashmap.PersistentHashMap`
+  from key to the head of a **version chain**;
+* version nodes: ``[prev_oid u64][version u64][vlen u32][value]``.
+
+The version counter itself is persistent (stored beside the index
+root), so version ordering survives restarts.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.errors import PmoError
+from repro.pmo.object_id import Oid
+from repro.workloads.structures.hashmap import PersistentHashMap
+
+_VERSION_HDR = struct.Struct("<QQI")   # prev, version, vlen
+
+
+class VersionedKvStore:
+    """Multi-version KV store (Echo semantics)."""
+
+    def __init__(self, pmo, index: PersistentHashMap,
+                 counter_oid: Oid) -> None:
+        self.pmo = pmo
+        self.index = index
+        self._counter = counter_oid
+
+    @classmethod
+    def create(cls, pmo, nbuckets: int = 1024) -> "VersionedKvStore":
+        index = PersistentHashMap.create(pmo, nbuckets)
+        counter = pmo.pmalloc(8)
+        pmo.write_u64(counter.offset, 0)
+        # Remember the counter next to the index root: store its OID
+        # in the header's spare word (root offset + 8 is nbuckets, so
+        # we append a dedicated cell keyed in the map itself).
+        index.put(b"\x00__kv_counter__", struct.pack("<Q", counter.pack()))
+        return cls(pmo, index, counter)
+
+    @classmethod
+    def open(cls, pmo) -> "VersionedKvStore":
+        index = PersistentHashMap.open(pmo)
+        raw = index.get(b"\x00__kv_counter__")
+        if raw is None:
+            raise PmoError("PMO does not hold a VersionedKvStore")
+        counter = Oid.unpack(struct.unpack("<Q", raw)[0])
+        return cls(pmo, index, counter)
+
+    # -- version plumbing ------------------------------------------------
+
+    def _next_version(self) -> int:
+        version = self.pmo.read_u64(self._counter.offset) + 1
+        self.pmo.write_u64(self._counter.offset, version)
+        return version
+
+    def _read_version(self, oid: Oid) -> Tuple[Oid, int, bytes]:
+        prev, version, vlen = _VERSION_HDR.unpack(
+            self.pmo.read(oid.offset, _VERSION_HDR.size))
+        value = self.pmo.read(oid.offset + _VERSION_HDR.size, vlen)
+        return Oid.unpack(prev), version, value
+
+    def _head_of(self, key: bytes) -> Optional[Oid]:
+        raw = self.index.get(key)
+        if raw is None:
+            return None
+        return Oid.unpack(struct.unpack("<Q", raw)[0])
+
+    # -- store API -----------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> int:
+        """Append a new version of ``key``; returns its version number."""
+        if key.startswith(b"\x00"):
+            raise PmoError("keys starting with NUL are reserved")
+        head = self._head_of(key)
+        version = self._next_version()
+        node = self.pmo.pmalloc(_VERSION_HDR.size + len(value))
+        self.pmo.write(node.offset, _VERSION_HDR.pack(
+            (head or Oid.NULL).pack(), version, len(value)) + value)
+        self.index.put(key, struct.pack("<Q", node.pack()))
+        return version
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """The newest version's value."""
+        head = self._head_of(key)
+        if head is None:
+            return None
+        _, _, value = self._read_version(head)
+        return value
+
+    def get_version(self, key: bytes, version: int) -> Optional[bytes]:
+        """Read a specific historical version (Echo's time travel)."""
+        oid = self._head_of(key)
+        while oid is not None and not oid.is_null():
+            prev, v, value = self._read_version(oid)
+            if v == version:
+                return value
+            if v < version:
+                return None   # chain is newest-first
+            oid = prev
+        return None
+
+    def versions(self, key: bytes) -> List[int]:
+        """All retained version numbers, newest first."""
+        out = []
+        oid = self._head_of(key)
+        while oid is not None and not oid.is_null():
+            prev, v, _ = self._read_version(oid)
+            out.append(v)
+            oid = prev
+        return out
+
+    def delete(self, key: bytes) -> bool:
+        """Remove the key and free its whole version chain."""
+        head = self._head_of(key)
+        if head is None:
+            return False
+        self.index.delete(key)
+        oid = head
+        while not oid.is_null():
+            prev, _, _ = self._read_version(oid)
+            self.pmo.pfree(oid)
+            oid = prev
+        return True
+
+    def gc(self, key: bytes, keep: int = 1) -> int:
+        """Drop all but the newest ``keep`` versions; returns #freed.
+
+        Redis-style single-version behaviour is ``gc(key, keep=1)``
+        after every put.
+        """
+        if keep < 1:
+            raise PmoError("must keep at least one version")
+        oid = self._head_of(key)
+        kept = 0
+        last_kept: Optional[Oid] = None
+        while oid is not None and not oid.is_null():
+            prev, _, _ = self._read_version(oid)
+            kept += 1
+            if kept == keep:
+                last_kept = oid
+                break
+            oid = prev
+        if last_kept is None:
+            return 0
+        # Cut the chain and free the tail.
+        prev, version, vlen = _VERSION_HDR.unpack(
+            self.pmo.read(last_kept.offset, _VERSION_HDR.size))
+        self.pmo.write(last_kept.offset, _VERSION_HDR.pack(
+            Oid.NULL.pack(), version, vlen))
+        freed = 0
+        oid = Oid.unpack(prev)
+        while not oid.is_null():
+            nxt, _, _ = self._read_version(oid)
+            self.pmo.pfree(oid)
+            freed += 1
+            oid = nxt
+        return freed
+
+    def keys(self) -> Iterator[bytes]:
+        for key, _ in self.index.items():
+            if not key.startswith(b"\x00"):
+                yield key

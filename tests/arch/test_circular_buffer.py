@@ -1,0 +1,92 @@
+"""Circular buffer data structure (Figure 7a)."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.arch.circular_buffer import (
+    CircularBuffer, ENTRY_BITS, NUM_ENTRIES, TIMER_BITS)
+
+
+class TestEntries:
+    def test_add_and_lookup(self):
+        cb = CircularBuffer()
+        entry = cb.add("pmo1", 1000)
+        assert cb.lookup("pmo1") is entry
+        assert entry.ctr == 1 and not entry.dd
+
+    def test_duplicate_add_rejected(self):
+        cb = CircularBuffer()
+        cb.add("pmo1", 0)
+        with pytest.raises(SimulationError):
+            cb.add("pmo1", 10)
+
+    def test_capacity_limit(self):
+        cb = CircularBuffer(capacity=2)
+        cb.add("a", 0)
+        cb.add("b", 0)
+        assert cb.is_full()
+        with pytest.raises(SimulationError):
+            cb.add("c", 0)
+
+    def test_remove(self):
+        cb = CircularBuffer()
+        cb.add("pmo1", 0)
+        cb.remove("pmo1")
+        assert cb.lookup("pmo1") is None
+        with pytest.raises(SimulationError):
+            cb.remove("pmo1")
+
+    def test_age(self):
+        cb = CircularBuffer()
+        e = cb.add("p", 1_000)
+        assert e.age_ns(41_000) == 40_000
+
+
+class TestSweep:
+    def test_sweep_finds_expired_only(self):
+        """The Figure 7a example: time 15, max EW 10 -> PMO1 and PMO2
+        expired, PMO3 and PMO4 left alone."""
+        cb = CircularBuffer()
+        e1 = cb.add("pmo1", 3)
+        e1.ctr, e1.dd = 0, True
+        e2 = cb.add("pmo2", 5)
+        e2.ctr = 3
+        cb.add("pmo3", 12)
+        cb.add("pmo4", 15)
+        expired = cb.sweep(now_ns=15, max_ew_ns=10)
+        assert {e.pmo_id for e in expired} == {"pmo1", "pmo2"}
+        # Caller policy: ctr==0 -> detach, ctr>0 -> randomize.
+        assert [e for e in expired if e.ctr == 0][0].pmo_id == "pmo1"
+        assert [e for e in expired if e.ctr > 0][0].pmo_id == "pmo2"
+
+    def test_sweep_counts(self):
+        cb = CircularBuffer()
+        cb.sweep(0, 10)
+        cb.sweep(5, 10)
+        assert cb.sweeps == 2
+
+
+class TestEviction:
+    def test_evictable_requires_dd_and_no_holders(self):
+        cb = CircularBuffer()
+        a = cb.add("a", 0)
+        b = cb.add("b", 0)
+        assert cb.evictable() is None
+        b.dd, b.ctr = True, 2
+        assert cb.evictable() is None
+        a.dd, a.ctr = True, 0
+        assert cb.evictable() is a
+
+
+class TestHardwareSizing:
+    def test_entry_is_34_bits(self):
+        assert ENTRY_BITS == 34
+
+    def test_total_storage_140_bytes(self):
+        """Section V-B: 'The total on-chip space introduced is 140
+        bytes' — 32 entries x 34 bits + a 32-bit timer."""
+        assert CircularBuffer.storage_bits() == 32 * 34 + TIMER_BITS
+        assert CircularBuffer.storage_bytes() == 140
+
+    def test_default_capacity(self):
+        assert NUM_ENTRIES == 32

@@ -1,0 +1,58 @@
+"""Cross-checks between the cost model, syscall composition, and the
+simulator's charged totals."""
+
+import pytest
+
+from repro.arch.cond_engine import TerpArchEngine
+from repro.arch.params import CostBreakdown, CostModel, DEFAULT_PARAMS
+from repro.core.units import cycles_to_ns, MIB, us
+from repro.mem.syscalls import attach_cost, detach_cost, randomize_cost
+from repro.sim.machine import Machine
+from repro.sim.policy import CompilerTerpPolicy
+from tests.sim.test_machine import tx_workload
+
+
+class TestCostConsistency:
+    def test_cost_model_matches_syscall_composition(self):
+        """Table II constants and the composed syscall paths agree
+        (both are cross-checked against the paper)."""
+        model = CostModel()
+        assert model.attach_performed() == pytest.approx(
+            attach_cost().total_cycles, rel=0.05)
+        assert model.detach_performed() == pytest.approx(
+            detach_cost().total_cycles
+            + DEFAULT_PARAMS.tlb_invalidation, rel=0.20)
+        assert model.randomize() == pytest.approx(
+            randomize_cost().total_cycles, rel=0.20)
+
+    def test_machine_charges_match_counters(self):
+        """Total charged attach cycles == performed * syscall cost +
+        silent * 27 (TT configuration)."""
+        machine = Machine(
+            engine=TerpArchEngine(us(40)),
+            policy_factory=lambda: CompilerTerpPolicy(us(2)),
+            pmo_sizes={"kv": 8 * MIB})
+        result = machine.run({0: tx_workload(300)})
+        c = result.counters
+        expected_attach = c.attach_syscalls * \
+            DEFAULT_PARAMS.attach_syscall
+        assert result.breakdown.cycles["attach"] == \
+            pytest.approx(expected_attach)
+        expected_cond = (c.silent_attaches + c.silent_detaches) * \
+            DEFAULT_PARAMS.silent_cond
+        assert result.breakdown.cycles["cond"] == \
+            pytest.approx(expected_cond)
+
+    def test_overhead_equals_breakdown_sum(self):
+        """Wall-clock slowdown is fully explained by the charged
+        categories (single thread: no blocking, no contention)."""
+        machine = Machine(
+            engine=TerpArchEngine(us(40)),
+            policy_factory=lambda: CompilerTerpPolicy(us(2)),
+            pmo_sizes={"kv": 8 * MIB})
+        result = machine.run({0: tx_workload(300)})
+        charged_ns = sum(
+            cycles_to_ns(cy) for cy in result.breakdown.cycles.values())
+        slowdown_ns = result.wall_ns - result.baseline_ns
+        # Rounding per-charge (cycles -> ns) introduces small drift.
+        assert slowdown_ns == pytest.approx(charged_ns, rel=0.02)

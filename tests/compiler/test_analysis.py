@@ -1,0 +1,178 @@
+"""Pointer analysis, regions, LET, and PMO-WFG construction."""
+
+import pytest
+
+from repro.compiler.ir import (
+    Assign, Call, Compute, Function, Gep, Load, Program, Store)
+from repro.compiler.pointer_analysis import analyze
+from repro.compiler.regions import (
+    DEFAULT_LOOP_TRIP, Region, RegionHierarchy)
+from repro.compiler.wfg import build_wfg
+
+
+def make_program():
+    prog = Program()
+    prog.declare_pmo_handle("h", "pmo1")
+    return prog
+
+
+class TestPointerAnalysis:
+    def test_direct_access(self):
+        prog = make_program()
+        fn = prog.function("main")
+        fn.block("entry", [Load("h")])
+        pt = analyze(prog)
+        assert pt.var_targets["h"] == {"pmo1"}
+        assert pt.pmos_of_block("main", "entry") == {"pmo1"}
+
+    def test_alias_through_assign_and_gep(self):
+        prog = make_program()
+        fn = prog.function("main")
+        fn.block("entry", [Assign("p", "h"), Gep("q", "p"), Store("q")])
+        pt = analyze(prog)
+        assert pt.var_targets["q"] == {"pmo1"}
+        assert pt.may_alias("q", "h")
+        assert pt.pmos_of_block("main", "entry") == {"pmo1"}
+
+    def test_non_pmo_pointer_ignored(self):
+        prog = make_program()
+        fn = prog.function("main")
+        fn.block("entry", [Assign("x", "y"), Load("x")])
+        pt = analyze(prog)
+        assert pt.pmos_of_block("main", "entry") == set()
+        assert not pt.may_alias("x", "h")
+
+    def test_call_propagates_accesses(self):
+        prog = make_program()
+        helper = prog.function("helper")
+        helper.block("entry", [Load("h")])
+        main = prog.function("main")
+        main.block("entry", [Call("helper")])
+        pt = analyze(prog)
+        assert pt.pmos_of_block("main", "entry") == {"pmo1"}
+
+    def test_transitive_calls(self):
+        prog = make_program()
+        prog.function("c").block("entry", [Store("h")])
+        prog.function("b").block("entry", [Call("c")])
+        prog.function("a").block("entry", [Call("b")])
+        pt = analyze(prog)
+        assert pt.pmos_of_block("a", "entry") == {"pmo1"}
+
+    def test_two_pmos(self):
+        prog = make_program()
+        prog.declare_pmo_handle("g", "pmo2")
+        fn = prog.function("main")
+        fn.block("entry", [Load("h"), Store("g")])
+        pt = analyze(prog)
+        assert pt.pmos_of_block("main", "entry") == {"pmo1", "pmo2"}
+
+
+class TestRegionsAndLet:
+    def test_block_region_let(self):
+        prog = make_program()
+        fn = prog.function("main")
+        fn.block("entry", [Compute(100)])
+        h = RegionHierarchy(fn)
+        region = h.chain_for("entry")[0]
+        assert h.let(region) == 100
+
+    def test_chain_includes_loops_then_function(self):
+        fn = Function("f")
+        fn.block("entry").jump("header")
+        fn.block("header", [Compute(1)]).branch("body", "exit")
+        fn.block("body", [Compute(10)]).jump("header")
+        fn.block("exit")
+        h = RegionHierarchy(fn)
+        chain = h.chain_for("body")
+        kinds = [r.kind for r in chain]
+        assert kinds == ["block", "loop", "function"]
+        assert chain[1].header == "header"
+
+    def test_loop_let_multiplies_trip_count(self):
+        fn = Function("f")
+        fn.block("entry").jump("header")
+        fn.block("header", [Compute(1)]).branch("body", "exit")
+        fn.block("body", [Compute(10)]).jump("header")
+        fn.block("exit")
+        h = RegionHierarchy(fn)
+        loop_region = h.chain_for("body")[1]
+        # body (11 cycles/iteration) x 1000 assumed iterations.
+        assert h.let(loop_region) >= 10 * DEFAULT_LOOP_TRIP
+
+    def test_custom_trip_count(self):
+        fn = Function("f")
+        fn.block("entry").jump("header")
+        fn.block("header", [Compute(1)]).branch("body", "exit")
+        fn.block("body", [Compute(10)]).jump("header")
+        fn.block("exit")
+        small = RegionHierarchy(fn, loop_trip=10)
+        big = RegionHierarchy(fn, loop_trip=1000)
+        region = small.chain_for("body")[1]
+        assert small.let(region) < big.let(region)
+
+    def test_diamond_let_takes_longest_path(self):
+        fn = Function("f")
+        fn.block("entry", [Compute(1)]).branch("a", "b")
+        fn.block("a", [Compute(50)]).jump("join")
+        fn.block("b", [Compute(3)]).jump("join")
+        fn.block("join", [Compute(1)])
+        h = RegionHierarchy(fn)
+        whole = h.chain_for("entry")[-1]
+        assert h.let(whole) == 1 + 50 + 1
+
+
+class TestWfg:
+    def test_figure5_style_split(self):
+        """Two access clusters separated by a confluence point end up
+        in separate regions when the threshold is small."""
+        prog = make_program()
+        fn = prog.function("main")
+        fn.block("entry", [Compute(1)]).branch("bb2", "bb3")
+        fn.block("bb2", [Load("h"), Compute(5)]).jump("bb7")
+        fn.block("bb3", [Store("h"), Compute(5)]).jump("bb7")
+        fn.block("bb7", [Compute(1)]).branch("bb8", "bb9")
+        fn.block("bb8", [Compute(5)]).jump("bb11")
+        fn.block("bb9", [Load("h"), Compute(5)]).jump("bb11")
+        fn.block("bb11", [Compute(1)])
+        pt = analyze(prog)
+        wfg = build_wfg(fn, pt, let_threshold_cycles=8)
+        assert len(wfg.regions) == 3  # bb2, bb3, bb9 separately
+        assert wfg.covered_blocks() == {"bb2", "bb3", "bb9"}
+
+    def test_large_threshold_merges_into_one_region(self):
+        prog = make_program()
+        fn = prog.function("main")
+        fn.block("entry", [Compute(1)]).branch("bb2", "bb3")
+        fn.block("bb2", [Load("h")]).jump("join")
+        fn.block("bb3", [Store("h")]).jump("join")
+        fn.block("join", [Compute(1)])
+        pt = analyze(prog)
+        wfg = build_wfg(fn, pt, let_threshold_cycles=10_000)
+        assert len(wfg.regions) == 1
+        region = wfg.regions[0]
+        assert region.header == "entry"
+        assert region.confluence == "join"
+        assert region.access_blocks == {"bb2", "bb3"}
+
+    def test_loop_region_confluence(self):
+        prog = make_program()
+        fn = prog.function("main")
+        fn.block("entry").jump("header")
+        fn.block("header", [Compute(1)]).branch("body", "exit")
+        fn.block("body", [Load("h"), Compute(3)]).jump("header")
+        fn.block("exit", [Compute(1)])
+        pt = analyze(prog)
+        # Threshold above the loop LET: the whole loop is one region.
+        wfg = build_wfg(fn, pt, let_threshold_cycles=10 ** 9)
+        assert len(wfg.regions) == 1
+        assert "body" in wfg.regions[0].blocks
+
+    def test_regions_carry_pmo_sets(self):
+        prog = make_program()
+        prog.declare_pmo_handle("g", "pmo2")
+        fn = prog.function("main")
+        fn.block("entry", [Load("h"), Store("g")])
+        pt = analyze(prog)
+        wfg = build_wfg(fn, pt, let_threshold_cycles=100)
+        assert wfg.regions[0].pmos == {"pmo1", "pmo2"}

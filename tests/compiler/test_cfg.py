@@ -1,0 +1,122 @@
+"""CFG analyses: dominators, post-dominators, loops."""
+
+import pytest
+
+from repro.compiler.cfg import Cfg
+from repro.compiler.ir import Compute, Function
+from repro.core.errors import CompilerError
+
+
+def diamond() -> Function:
+    """entry -> a | b -> join -> exit"""
+    fn = Function("diamond")
+    fn.block("entry", [Compute(1)]).branch("a", "b")
+    fn.block("a", [Compute(5)]).jump("join")
+    fn.block("b", [Compute(3)]).jump("join")
+    fn.block("join", [Compute(1)]).jump("exit")
+    fn.block("exit", [Compute(1)])
+    return fn
+
+
+def loop() -> Function:
+    """entry -> header <-> body; header -> exit"""
+    fn = Function("loop")
+    fn.block("entry", [Compute(1)]).jump("header")
+    fn.block("header", [Compute(1)]).branch("body", "exit")
+    fn.block("body", [Compute(10)]).jump("header")
+    fn.block("exit", [Compute(1)])
+    return fn
+
+
+class TestCfgBasics:
+    def test_preds_and_succs(self):
+        cfg = Cfg(diamond())
+        assert set(cfg.succ["entry"]) == {"a", "b"}
+        assert set(cfg.pred["join"]) == {"a", "b"}
+
+    def test_unreachable_block_rejected(self):
+        fn = diamond()
+        fn.block("island", [Compute(1)])
+        with pytest.raises(CompilerError):
+            Cfg(fn)
+
+    def test_missing_successor_rejected(self):
+        fn = Function("bad")
+        fn.block("entry").jump("ghost")
+        with pytest.raises(CompilerError):
+            Cfg(fn)
+
+
+class TestDominators:
+    def test_diamond_dominators(self):
+        cfg = Cfg(diamond())
+        dom = cfg.dominators()
+        assert dom["join"] == {"entry", "join"}
+        assert dom["a"] == {"entry", "a"}
+        assert dom["exit"] == {"entry", "join", "exit"}
+
+    def test_immediate_dominators(self):
+        cfg = Cfg(diamond())
+        idom = cfg.immediate_dominators()
+        assert idom["entry"] is None
+        assert idom["a"] == "entry"
+        assert idom["join"] == "entry"
+        assert idom["exit"] == "join"
+
+    def test_loop_dominators(self):
+        cfg = Cfg(loop())
+        dom = cfg.dominators()
+        assert dom["body"] == {"entry", "header", "body"}
+
+
+class TestPostDominators:
+    def test_diamond_postdominators(self):
+        cfg = Cfg(diamond())
+        pdom = cfg.post_dominators()
+        assert "join" in pdom["entry"]
+        assert "exit" in pdom["a"]
+        assert "a" not in pdom["entry"]
+
+    def test_loop_postdominators(self):
+        cfg = Cfg(loop())
+        pdom = cfg.post_dominators()
+        assert "header" in pdom["body"]
+        assert "exit" in pdom["header"]
+
+
+class TestLoops:
+    def test_back_edge_detection(self):
+        cfg = Cfg(loop())
+        assert cfg.back_edges() == [("body", "header")]
+
+    def test_natural_loop_body(self):
+        cfg = Cfg(loop())
+        loops = cfg.natural_loops()
+        assert loops == {"header": {"header", "body"}}
+
+    def test_no_loops_in_diamond(self):
+        assert Cfg(diamond()).natural_loops() == {}
+
+    def test_nested_loops(self):
+        fn = Function("nested")
+        fn.block("entry").jump("outer")
+        fn.block("outer", [Compute(1)]).branch("inner", "exit")
+        fn.block("inner", [Compute(1)]).branch("inner_body", "outer_latch")
+        fn.block("inner_body", [Compute(1)]).jump("inner")
+        fn.block("outer_latch", [Compute(1)]).jump("outer")
+        fn.block("exit")
+        cfg = Cfg(fn)
+        loops = cfg.natural_loops()
+        assert loops["inner"] == {"inner", "inner_body"}
+        assert "outer_latch" in loops["outer"]
+        assert loops["inner"] < loops["outer"]
+        depth = cfg.loop_depth()
+        assert depth["inner_body"] == 2
+        assert depth["outer_latch"] == 1
+        assert depth["exit"] == 0
+
+    def test_topo_order_skips_back_edges(self):
+        cfg = Cfg(loop())
+        order = cfg.topo_order_acyclic()
+        assert order.index("header") < order.index("body")
+        assert order.index("entry") < order.index("header")

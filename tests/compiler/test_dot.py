@@ -1,0 +1,71 @@
+"""DOT export of CFGs and WFG regions."""
+
+import pytest
+
+from repro.compiler.dot import function_to_dot, program_to_dot
+from repro.compiler.insertion import TerpInsertionPass
+from repro.compiler.ir import Compute, Load, Program, Store
+from repro.compiler.pointer_analysis import analyze
+from repro.compiler.wfg import build_wfg
+
+
+def figure5_program():
+    prog = Program()
+    prog.declare_pmo_handle("h", "pmo1")
+    fn = prog.function("main")
+    fn.block("entry", [Compute(1)]).branch("bb2", "bb3")
+    fn.block("bb2", [Load("h")]).jump("join")
+    fn.block("bb3", [Store("h")]).jump("join")
+    fn.block("join", [Compute(1)])
+    return prog, fn
+
+
+class TestDot:
+    def test_nodes_and_edges_present(self):
+        prog, fn = figure5_program()
+        dot = function_to_dot(fn)
+        assert 'digraph "main"' in dot
+        for block in fn.blocks:
+            assert f'"{block}"' in dot
+        assert '"entry" -> "bb2"' in dot
+        assert '"bb3" -> "join"' in dot
+
+    def test_access_blocks_shaded(self):
+        prog, fn = figure5_program()
+        dot = function_to_dot(fn, points_to=analyze(prog))
+        bb2_line = next(l for l in dot.splitlines()
+                        if l.strip().startswith('"bb2" ['))
+        assert "gray80" in bb2_line
+        entry_line = next(l for l in dot.splitlines()
+                          if l.strip().startswith('"entry" ['))
+        assert "gray80" not in entry_line
+
+    def test_wfg_regions_become_clusters(self):
+        prog, fn = figure5_program()
+        pt = analyze(prog)
+        wfg = build_wfg(fn, pt, let_threshold_cycles=10_000)
+        dot = function_to_dot(fn, points_to=pt, wfg=wfg)
+        assert "subgraph cluster_0" in dot
+        assert "LET" in dot
+
+    def test_insertion_annotated(self):
+        prog, fn = figure5_program()
+        TerpInsertionPass(let_threshold_cycles=10_000,
+                          tew_cycles=500).run(prog)
+        dot = function_to_dot(fn)
+        assert "attach" in dot and "detach" in dot
+
+    def test_program_export_covers_all_functions(self):
+        prog, _ = figure5_program()
+        helper = prog.function("helper")
+        helper.block("entry", [Compute(1)])
+        dot = program_to_dot(prog)
+        assert 'digraph "main"' in dot
+        assert 'digraph "helper"' in dot
+
+    def test_entry_highlighted(self):
+        prog, fn = figure5_program()
+        dot = function_to_dot(fn)
+        entry_line = next(l for l in dot.splitlines()
+                          if l.strip().startswith('"entry" ['))
+        assert "penwidth=2" in entry_line

@@ -1,0 +1,220 @@
+"""Algorithm 1 insertion, verification, and runtime integration."""
+
+import pytest
+
+from repro.arch.cond_engine import TerpArchEngine
+from repro.compiler.insertion import (
+    InsertionReport, TerpInsertionPass, verify_function, verify_program)
+from repro.compiler.interp import Interpreter
+from repro.compiler.ir import (
+    Call, Compute, CondAttach, CondDetach, Function, Load, Program,
+    Store)
+from repro.compiler.pointer_analysis import analyze
+from repro.core.errors import CompilerError
+from repro.core.semantics import EwConsciousSemantics
+from repro.core.units import us
+
+
+def make_program():
+    prog = Program()
+    prog.declare_pmo_handle("h", "pmo1")
+    return prog
+
+
+def run_pass(prog, *, let_threshold=100_000, tew=5_000):
+    pass_ = TerpInsertionPass(let_threshold_cycles=let_threshold,
+                              tew_cycles=tew)
+    report = pass_.run(prog)
+    verify_program(prog)
+    return report
+
+
+class TestThreadWindowInsertion:
+    def test_single_access_block_wrapped(self):
+        prog = make_program()
+        fn = prog.function("main")
+        fn.block("entry", [Compute(1), Load("h"), Compute(1)])
+        report = run_pass(prog)
+        instrs = fn.blocks["entry"].instrs
+        assert isinstance(instrs[0], CondAttach)
+        assert isinstance(instrs[-1], CondDetach)
+        assert report.attaches == 1 and report.detaches == 1
+
+    def test_diamond_each_branch_wrapped(self):
+        prog = make_program()
+        fn = prog.function("main")
+        fn.block("entry", [Compute(1)]).branch("a", "b")
+        fn.block("a", [Load("h")]).jump("join")
+        fn.block("b", [Store("h")]).jump("join")
+        fn.block("join", [Compute(1)])
+        report = run_pass(prog)
+        assert report.attaches == 2
+        assert isinstance(fn.blocks["a"].instrs[0], CondAttach)
+        assert isinstance(fn.blocks["b"].instrs[0], CondAttach)
+        assert not any(isinstance(i, CondAttach)
+                       for i in fn.blocks["join"].instrs)
+
+    def test_linear_chain_shares_one_pair(self):
+        prog = make_program()
+        fn = prog.function("main")
+        fn.block("entry", [Load("h"), Compute(2)]).jump("next")
+        fn.block("next", [Store("h"), Compute(2)])
+        report = run_pass(prog, tew=10_000)
+        assert report.attaches == 1
+        assert report.chains == 1
+        assert isinstance(fn.blocks["entry"].instrs[0], CondAttach)
+        assert isinstance(fn.blocks["next"].instrs[-1], CondDetach)
+
+    def test_chain_split_when_budget_small(self):
+        prog = make_program()
+        fn = prog.function("main")
+        fn.block("entry", [Load("h"), Compute(50)]).jump("next")
+        fn.block("next", [Store("h"), Compute(50)])
+        report = run_pass(prog, tew=60)
+        assert report.attaches == 2   # budget too small to merge
+
+    def test_loop_body_access(self):
+        prog = make_program()
+        fn = prog.function("main")
+        fn.block("entry").jump("header")
+        fn.block("header", [Compute(1)]).branch("body", "exit")
+        fn.block("body", [Load("h"), Compute(3)]).jump("header")
+        fn.block("exit", [Compute(1)])
+        report = run_pass(prog, tew=1_000)
+        # Per-iteration pair inside the body.
+        assert isinstance(fn.blocks["body"].instrs[0], CondAttach)
+        assert isinstance(fn.blocks["body"].instrs[-1], CondDetach)
+
+    def test_functions_without_accesses_untouched(self):
+        prog = make_program()
+        fn = prog.function("main")
+        fn.block("entry", [Compute(5)])
+        report = run_pass(prog)
+        assert report.attaches == 0
+        assert fn.blocks["entry"].instrs == [Compute(5)]
+
+
+class TestRegionModeInsertion:
+    def test_region_pair_at_header_and_confluence(self):
+        prog = make_program()
+        fn = prog.function("main")
+        fn.block("entry", [Compute(1)]).branch("a", "b")
+        fn.block("a", [Load("h")]).jump("join")
+        fn.block("b", [Store("h")]).jump("join")
+        fn.block("join", [Compute(1)])
+        report = run_pass(prog, tew=0, let_threshold=10_000)
+        assert report.attaches == 1
+        assert isinstance(fn.blocks["entry"].instrs[0], CondAttach)
+        assert isinstance(fn.blocks["join"].instrs[-1], CondDetach)
+
+    def test_loop_region_per_iteration_pairing(self):
+        prog = make_program()
+        fn = prog.function("main")
+        # Heavy compute outside the loop keeps the whole-function
+        # region above the threshold, so the loop is the chosen region.
+        fn.block("entry", [Compute(500_000)]).jump("header")
+        fn.block("header", [Compute(1)]).branch("body", "exit")
+        fn.block("body", [Load("h"), Compute(3)]).jump("header")
+        fn.block("exit", [Compute(1)])
+        report = run_pass(prog, tew=0, let_threshold=300_000)
+        verify_function(fn)   # loop exit edges must be closed
+        assert report.attaches >= 1
+        # The header attach re-arms every iteration; the latch closes.
+        assert isinstance(fn.blocks["header"].instrs[0], CondAttach)
+        assert any(isinstance(i, CondDetach)
+                   for i in fn.blocks["body"].instrs)
+
+
+class TestVerification:
+    def test_detects_missing_detach(self):
+        fn = Function("bad")
+        fn.block("entry", [CondAttach("pmo1"), Compute(1)])
+        with pytest.raises(CompilerError):
+            verify_function(fn)
+
+    def test_detects_double_attach(self):
+        fn = Function("bad")
+        fn.block("entry", [CondAttach("pmo1"), CondAttach("pmo1"),
+                           CondDetach("pmo1")])
+        with pytest.raises(CompilerError):
+            verify_function(fn)
+
+    def test_detects_detach_without_attach(self):
+        fn = Function("bad")
+        fn.block("entry", [CondDetach("pmo1")])
+        with pytest.raises(CompilerError):
+            verify_function(fn)
+
+    def test_detects_inconsistent_paths(self):
+        fn = Function("bad")
+        fn.block("entry", [Compute(1)]).branch("a", "b")
+        fn.block("a", [CondAttach("pmo1")]).jump("join")
+        fn.block("b", [Compute(1)]).jump("join")
+        fn.block("join", [CondDetach("pmo1")])
+        with pytest.raises(CompilerError):
+            verify_function(fn)
+
+    def test_accepts_balanced_function(self):
+        fn = Function("good")
+        fn.block("entry", [CondAttach("pmo1"), Compute(1),
+                           CondDetach("pmo1")])
+        verify_function(fn)
+
+
+class TestRuntimeIntegration:
+    def _looped_program(self):
+        prog = make_program()
+        fn = prog.function("main")
+        fn.block("entry", [Compute(10)]).jump("header")
+        fn.block("header", [Compute(5)]).branch("body", "exit")
+        fn.block("body", [Load("h"), Compute(200), Store("h")]) \
+            .jump("header")
+        fn.block("exit", [Compute(10)])
+        return prog
+
+    def test_instrumented_run_is_clean_under_ew_conscious(self):
+        prog = self._looped_program()
+        run_pass(prog, tew=2_000)
+        engine = EwConsciousSemantics(us(40))
+        result = Interpreter(prog, engine, seed=3).run("main")
+        assert result.clean
+        assert result.attaches > 0
+
+    def test_instrumented_run_is_clean_under_arch_engine(self):
+        prog = self._looped_program()
+        run_pass(prog, tew=2_000)
+        engine = TerpArchEngine(us(40))
+        result = Interpreter(prog, engine, seed=3).run("main")
+        assert result.clean
+
+    def test_uninstrumented_run_faults(self):
+        prog = self._looped_program()
+        engine = EwConsciousSemantics(us(40))
+        result = Interpreter(prog, engine, seed=3).run("main")
+        assert result.faults > 0
+
+    def test_tew_bounded_by_budget(self):
+        """The measured thread windows respect the compiler's budget
+        (plus one block of slack for the trailing instructions)."""
+        prog = self._looped_program()
+        tew_cycles = 2_000
+        run_pass(prog, tew=tew_cycles)
+        engine = EwConsciousSemantics(us(40))
+        result = Interpreter(prog, engine, seed=3).run("main")
+        from repro.core.units import cycles_to_ns
+        budget_ns = cycles_to_ns(tew_cycles + 500)
+        assert result.max_tew_ns <= budget_ns
+
+    def test_calls_covered_by_caller_windows(self):
+        prog = make_program()
+        helper = prog.function("helper")
+        helper.block("entry", [Load("h"), Compute(5)])
+        main = prog.function("main")
+        main.block("entry", [Compute(5), Call("helper"), Compute(5)])
+        pass_ = TerpInsertionPass(let_threshold_cycles=100_000,
+                                  tew_cycles=5_000)
+        pass_.run(prog)
+        verify_program(prog)
+        engine = EwConsciousSemantics(us(40))
+        result = Interpreter(prog, engine, seed=3).run("main")
+        assert result.clean

@@ -1,0 +1,117 @@
+"""Textual IR parsing and printing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.insertion import TerpInsertionPass, verify_program
+from repro.compiler.ir import Compute, CondAttach, Load, Program
+from repro.compiler.text import parse_program, print_program
+from repro.core.errors import CompilerError
+
+EXAMPLE = """
+pmo h = accounts
+
+func main entry=entry
+block entry:
+    compute 100
+    branch fast slow
+block fast:
+    load h
+    jump join
+block slow:
+    store h           # writes the PMO
+    jump join
+block join:
+    compute 50
+"""
+
+
+class TestParsing:
+    def test_parses_example(self):
+        prog = parse_program(EXAMPLE)
+        assert prog.pmo_handles == {"h": "accounts"}
+        fn = prog.get("main")
+        assert set(fn.blocks) == {"entry", "fast", "slow", "join"}
+        assert fn.blocks["entry"].successors == ["fast", "slow"]
+        assert fn.blocks["join"].successors == []
+
+    def test_comments_and_blank_lines_ignored(self):
+        prog = parse_program("""
+            # a program
+            pmo p = data
+
+            func f entry=start
+            block start:
+                load p   # read it
+        """)
+        assert "start" in prog.get("f").blocks
+
+    def test_all_instructions_parse(self):
+        prog = parse_program("""
+            pmo p = data
+            func f entry=b
+            block b:
+                compute 7
+                load p
+                store p
+                assign x p
+                gep y x
+                condattach data
+                conddetach data
+                call g
+            func g entry=b
+            block b:
+                compute 1
+        """)
+        instrs = prog.get("f").blocks["b"].instrs
+        assert len(instrs) == 8
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(CompilerError, match="line 3"):
+            parse_program("pmo p = data\nfunc f entry=b\nbogus 1\n")
+
+    def test_instruction_outside_block_rejected(self):
+        with pytest.raises(CompilerError):
+            parse_program("func f entry=b\ncompute 1\n")
+
+    def test_bad_arity_rejected(self):
+        with pytest.raises(CompilerError):
+            parse_program("func f entry=b\nblock b:\n  assign x\n")
+
+    def test_unknown_successor_rejected(self):
+        with pytest.raises(CompilerError):
+            parse_program("func f entry=b\nblock b:\n  jump ghost\n")
+
+    def test_instructions_after_terminator_start_nowhere(self):
+        with pytest.raises(CompilerError):
+            parse_program(
+                "func f entry=b\nblock b:\n  jump b\n  compute 1\n")
+
+
+class TestRoundTrip:
+    def test_example_roundtrips(self):
+        prog = parse_program(EXAMPLE)
+        text = print_program(prog)
+        again = parse_program(text)
+        assert print_program(again) == text
+
+    def test_instrumented_program_roundtrips(self):
+        prog = parse_program(EXAMPLE)
+        TerpInsertionPass(let_threshold_cycles=10_000,
+                          tew_cycles=500).run(prog)
+        verify_program(prog)
+        text = print_program(prog)
+        assert "condattach accounts" in text
+        reparsed = parse_program(text)
+        verify_program(reparsed)   # insertion survives the round trip
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.sampled_from(
+        ["compute 5", "load h", "store h", "assign a h", "gep b a"]),
+        min_size=1, max_size=10))
+    def test_random_straightline_roundtrip(self, instr_lines):
+        body = "\n".join(f"    {line}" for line in instr_lines)
+        text = f"pmo h = data\nfunc f entry=b\nblock b:\n{body}\n"
+        prog = parse_program(text)
+        assert print_program(parse_program(print_program(prog))) == \
+            print_program(prog)

@@ -1,0 +1,49 @@
+"""Trace recording and queries."""
+
+import pytest
+
+from repro.core.events import EventKind, Trace, TraceEvent
+
+
+def make_trace():
+    trace = Trace()
+    trace.record(TraceEvent(EventKind.ATTACH, 0, 1, "p1"))
+    trace.record(TraceEvent(EventKind.MAP, 0, None, "p1"))
+    trace.record(TraceEvent(EventKind.ACCESS, 100, 1, "p1"))
+    trace.record(TraceEvent(EventKind.ACCESS, 200, 2, "p2"))
+    trace.record(TraceEvent(EventKind.DETACH, 300, 1, "p1"))
+    return trace
+
+
+class TestTrace:
+    def test_of_kind(self):
+        trace = make_trace()
+        assert len(trace.of_kind(EventKind.ACCESS)) == 2
+        assert len(trace.of_kind(EventKind.RANDOMIZE)) == 0
+
+    def test_for_pmo(self):
+        trace = make_trace()
+        assert len(trace.for_pmo("p1")) == 4
+        assert len(trace.for_pmo("p2")) == 1
+
+    def test_for_thread(self):
+        trace = make_trace()
+        assert len(trace.for_thread(1)) == 3
+        assert len(trace.for_thread(7)) == 0
+
+    def test_between(self):
+        trace = make_trace()
+        window = trace.between(50, 250)
+        assert [e.now_ns for e in window] == [100, 200]
+
+    def test_len_and_iter(self):
+        trace = make_trace()
+        assert len(trace) == 5
+        assert sum(1 for _ in trace) == 5
+
+    def test_capacity_drops_and_counts(self):
+        trace = Trace(capacity=2)
+        for i in range(5):
+            trace.record(TraceEvent(EventKind.ACCESS, i))
+        assert len(trace) == 2
+        assert trace.dropped == 3

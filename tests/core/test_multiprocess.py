@@ -1,0 +1,112 @@
+"""Multi-process PMO sharing (the poset's process/user tiers)."""
+
+import pytest
+
+from repro.core.errors import PmoError, TerpError
+from repro.core.multiprocess import SharedPmoSystem
+from repro.core.permissions import Access
+from repro.core.semantics import Outcome
+from repro.core.units import MIB, us
+
+
+@pytest.fixture
+def system():
+    return SharedPmoSystem(seed=5)
+
+
+@pytest.fixture
+def two_procs(system):
+    alice = system.create_process("server", user="alice")
+    bob = system.create_process("client", user="bob")
+    return alice, bob
+
+
+class TestProcessManagement:
+    def test_duplicate_process_rejected(self, system):
+        system.create_process("p")
+        with pytest.raises(TerpError):
+            system.create_process("p")
+
+    def test_lookup(self, system):
+        p = system.create_process("p")
+        assert system.process("p") is p
+        with pytest.raises(TerpError):
+            system.process("ghost")
+
+
+class TestModeChecks:
+    def test_owner_can_attach(self, system, two_procs):
+        alice, _ = two_procs
+        system.create_pmo(alice, "data", 8 * MIB, mode=0o600)
+        result = system.attach(alice, "data", Access.RW)
+        assert result.ok
+
+    def test_other_user_denied_by_mode(self, system, two_procs):
+        alice, bob = two_procs
+        system.create_pmo(alice, "data", 8 * MIB, mode=0o600)
+        with pytest.raises(PmoError):
+            system.attach(bob, "data", Access.READ)
+
+    def test_world_readable_allows_read_only(self, system, two_procs):
+        alice, bob = two_procs
+        system.create_pmo(alice, "pub", 8 * MIB, mode=0o644)
+        assert system.attach(bob, "pub", Access.READ).ok
+        with pytest.raises(PmoError):
+            system.attach(bob, "pub", Access.RW, now_ns=10)
+
+
+class TestIndependentMappings:
+    def test_processes_get_different_random_bases(self, system,
+                                                  two_procs):
+        alice, bob = two_procs
+        system.create_pmo(alice, "shared", 8 * MIB, mode=0o666)
+        system.attach(alice, "shared", Access.RW)
+        system.attach(bob, "shared", Access.RW)
+        va_alice = system.base_va(alice, "shared")
+        va_bob = system.base_va(bob, "shared")
+        assert va_alice is not None and va_bob is not None
+        assert va_alice != va_bob
+
+    def test_detach_in_one_process_only(self, system, two_procs):
+        alice, bob = two_procs
+        system.create_pmo(alice, "shared", 8 * MIB, mode=0o666)
+        system.attach(alice, "shared", Access.RW)
+        system.attach(bob, "shared", Access.RW)
+        # Alice detaches past her EW target: unmapped for her only.
+        system.detach(alice, "shared", now_ns=us(41))
+        assert system.base_va(alice, "shared") is None
+        assert system.base_va(bob, "shared") is not None
+
+    def test_access_isolated_per_process(self, system, two_procs):
+        alice, bob = two_procs
+        system.create_pmo(alice, "shared", 8 * MIB, mode=0o666)
+        system.attach(alice, "shared", Access.RW)
+        # Bob never attached: his access segfaults even though the
+        # PMO is mapped in Alice's process.
+        decision = system.access(bob, "shared", Access.READ)
+        assert decision.outcome is Outcome.FAULT_SEGV
+        assert system.access(alice, "shared",
+                             Access.READ).outcome is Outcome.OK
+
+    def test_shared_data_visible_to_both(self, system, two_procs):
+        """The PMO's bytes are shared even though mappings differ."""
+        alice, bob = two_procs
+        pmo = system.create_pmo(alice, "shared", 8 * MIB, mode=0o666)
+        system.attach(alice, "shared", Access.RW)
+        system.attach(bob, "shared", Access.READ)
+        oid = pmo.pmalloc(64)
+        pmo.write(oid.offset, b"from alice")
+        assert pmo.read(oid.offset, 10) == b"from alice"
+
+
+class TestExposureByProcess:
+    def test_per_process_exposure_rates(self, system, two_procs):
+        alice, bob = two_procs
+        system.create_pmo(alice, "shared", 8 * MIB, mode=0o666)
+        system.attach(alice, "shared", Access.RW)
+        system.detach(alice, "shared", now_ns=us(50))   # real detach
+        system.attach(bob, "shared", Access.READ, now_ns=us(60))
+        # Bob still attached at the end of the horizon.
+        rates = system.exposure_by_process("shared", total_ns=us(100))
+        assert rates["server"] == pytest.approx(0.5, abs=0.01)
+        assert rates["client"] == pytest.approx(0.4, abs=0.01)

@@ -1,0 +1,114 @@
+"""Permission sets and groups (Definitions 1-2)."""
+
+import pytest
+
+from repro.core.permissions import (
+    Access, Entity, EntityKind, PermissionGroup, PermissionSet)
+
+
+class TestAccess:
+    def test_parse_rw(self):
+        assert Access.parse("rw") is Access.RW
+
+    def test_parse_is_case_insensitive(self):
+        assert Access.parse("RW") is Access.RW
+
+    def test_parse_empty_is_none(self):
+        assert Access.parse("") is Access.NONE
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            Access.parse("q")
+
+    def test_rw_allows_read(self):
+        assert Access.RW.allows(Access.READ)
+
+    def test_read_does_not_allow_write(self):
+        assert not Access.READ.allows(Access.WRITE)
+
+    def test_none_allows_none_only(self):
+        assert Access.NONE.allows(Access.NONE)
+        assert not Access.NONE.allows(Access.READ)
+
+    def test_short_form(self):
+        assert Access.RW.short() == "rw-"
+        assert Access.READ.short() == "r--"
+        assert Access.RWX.short() == "rwx"
+
+
+class TestPermissionSet:
+    def test_of_and_access_to(self):
+        p = PermissionSet.of(pmo1="rw", pmo2="r")
+        assert p.access_to("pmo1") is Access.RW
+        assert p.access_to("pmo2") is Access.READ
+        assert p.access_to("pmo3") is Access.NONE
+
+    def test_subset_reflexive(self):
+        p = PermissionSet.of(pmo1="rw")
+        assert p.is_subset_of(p)
+
+    def test_subset_weaker_below_stronger(self):
+        weak = PermissionSet.of(pmo1="r")
+        strong = PermissionSet.of(pmo1="rw")
+        assert weak.is_subset_of(strong)
+        assert not strong.is_subset_of(weak)
+
+    def test_subset_requires_all_objects(self):
+        p1 = PermissionSet.of(pmo1="r", pmo2="r")
+        p2 = PermissionSet.of(pmo1="rw")
+        assert not p1.is_subset_of(p2)
+
+    def test_intersect(self):
+        p1 = PermissionSet.of(pmo1="rw", pmo2="r")
+        p2 = PermissionSet.of(pmo1="r", pmo3="w")
+        inter = p1.intersect(p2)
+        assert inter.access_to("pmo1") is Access.READ
+        assert inter.access_to("pmo2") is Access.NONE
+
+    def test_union(self):
+        p1 = PermissionSet.of(pmo1="r")
+        p2 = PermissionSet.of(pmo1="w", pmo2="r")
+        u = p1.union(p2)
+        assert u.access_to("pmo1") is Access.RW
+        assert u.access_to("pmo2") is Access.READ
+
+    def test_empty_set_is_falsy(self):
+        assert not PermissionSet()
+        assert PermissionSet.of(pmo1="r")
+
+    def test_intersection_is_lower_bound(self):
+        p1 = PermissionSet.of(a="rw", b="r")
+        p2 = PermissionSet.of(a="r", b="rw")
+        inter = p1.intersect(p2)
+        assert inter.is_subset_of(p1)
+        assert inter.is_subset_of(p2)
+
+
+class TestPermissionGroup:
+    def _threads(self, n):
+        return [Entity(EntityKind.THREAD, f"t{i}") for i in range(n)]
+
+    def test_validate_accepts_contained_permission(self):
+        t1, t2 = self._threads(2)
+        shared = PermissionSet.of(pmo1="r")
+        group = PermissionGroup.of([t1, t2], shared)
+        perms = {t1: PermissionSet.of(pmo1="rw"),
+                 t2: PermissionSet.of(pmo1="r")}
+        assert group.validate(perms)
+
+    def test_validate_rejects_overclaiming_group(self):
+        (t1,) = self._threads(1)
+        group = PermissionGroup.of([t1], PermissionSet.of(pmo1="rw"))
+        assert not group.validate({t1: PermissionSet.of(pmo1="r")})
+
+    def test_validate_rejects_unknown_member(self):
+        t1, t2 = self._threads(2)
+        group = PermissionGroup.of([t1, t2], PermissionSet.of(pmo1="r"))
+        assert not group.validate({t1: PermissionSet.of(pmo1="r")})
+
+    def test_subgroup_order(self):
+        t1, t2 = self._threads(2)
+        small = PermissionGroup.of([t1], PermissionSet.of(pmo1="r"))
+        big = PermissionGroup.of([t1, t2], PermissionSet.of(pmo1="rw"))
+        assert small.is_subgroup_of(big)
+        assert not big.is_subgroup_of(small)

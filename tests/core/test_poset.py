@@ -1,0 +1,127 @@
+"""TERP poset (Definition 4) and Hasse-diagram utilities."""
+
+import pytest
+
+from repro.core.errors import TerpError
+from repro.core.poset import Mechanism, ProtectionLevel, TerpPoset
+
+
+@pytest.fixture
+def standard():
+    return TerpPoset.standard()
+
+
+class TestConstruction:
+    def test_duplicate_element_rejected(self):
+        poset = TerpPoset()
+        poset.add(Mechanism("a", ProtectionLevel.THREAD_PERMISSION))
+        with pytest.raises(TerpError):
+            poset.add(Mechanism("a", ProtectionLevel.PROCESS_ATTACH))
+
+    def test_order_requires_membership(self):
+        poset = TerpPoset()
+        a = poset.add(Mechanism("a", ProtectionLevel.THREAD_PERMISSION))
+        b = Mechanism("b", ProtectionLevel.PROCESS_ATTACH)
+        with pytest.raises(TerpError):
+            poset.order(a, b)
+
+    def test_cycle_rejected(self):
+        poset = TerpPoset()
+        a = poset.add(Mechanism("a", ProtectionLevel.THREAD_PERMISSION))
+        b = poset.add(Mechanism("b", ProtectionLevel.PROCESS_ATTACH))
+        poset.order(a, b)
+        with pytest.raises(TerpError):
+            poset.order(b, a)
+
+    def test_self_order_rejected(self):
+        poset = TerpPoset()
+        a = poset.add(Mechanism("a", ProtectionLevel.THREAD_PERMISSION))
+        with pytest.raises(TerpError):
+            poset.order(a, a)
+
+
+class TestStandardPoset:
+    def test_has_four_levels(self, standard):
+        assert len(standard.elements()) == 4
+
+    def test_thread_permission_below_attach(self, standard):
+        thread = standard.get("thread-permission")
+        attach = standard.get("process-attach")
+        assert standard.leq(thread, attach)
+        assert not standard.leq(attach, thread)
+
+    def test_transitivity(self, standard):
+        thread = standard.get("thread-permission")
+        group = standard.get("user-group-permission")
+        assert standard.leq(thread, group)
+
+    def test_leq_reflexive(self, standard):
+        for m in standard.elements():
+            assert standard.leq(m, m)
+
+    def test_minimal_and_maximal(self, standard):
+        assert [m.name for m in standard.minimal_elements()] == \
+            ["thread-permission"]
+        assert [m.name for m in standard.maximal_elements()] == \
+            ["user-group-permission"]
+
+    def test_hasse_edges_are_covers_only(self, standard):
+        edges = {(lo.name, hi.name) for lo, hi in standard.hasse_edges()}
+        # A chain of 4 has exactly 3 covering pairs; the transitive
+        # pairs (thread < user etc.) must not appear.
+        assert edges == {
+            ("thread-permission", "process-attach"),
+            ("process-attach", "user-permission"),
+            ("user-permission", "user-group-permission"),
+        }
+
+    def test_lowering_step(self, standard):
+        attach = standard.get("process-attach")
+        lowered = standard.lower(attach)
+        assert lowered is not None
+        assert lowered.name == "thread-permission"
+
+    def test_lowering_bottoms_out(self, standard):
+        thread = standard.get("thread-permission")
+        assert standard.lower(thread) is None
+
+    def test_render_hasse_mentions_all(self, standard):
+        text = standard.render_hasse()
+        for m in standard.elements():
+            assert m.name in text
+
+
+class TestDiamondPoset:
+    """Figure 2 shows incomparable elements (user A vs user B)."""
+
+    def _diamond(self):
+        poset = TerpPoset()
+        bottom = poset.add(Mechanism("t", ProtectionLevel.THREAD_PERMISSION))
+        a = poset.add(Mechanism("userA", ProtectionLevel.USER_PERMISSION))
+        b = poset.add(Mechanism("userB", ProtectionLevel.USER_PERMISSION))
+        top = poset.add(Mechanism("g", ProtectionLevel.USER_GROUP_PERMISSION))
+        poset.order(bottom, a)
+        poset.order(bottom, b)
+        poset.order(a, top)
+        poset.order(b, top)
+        return poset, bottom, a, b, top
+
+    def test_incomparable_middle(self):
+        poset, _, a, b, _ = self._diamond()
+        assert not poset.comparable(a, b)
+
+    def test_transitive_through_diamond(self):
+        poset, bottom, _, _, top = self._diamond()
+        assert poset.leq(bottom, top)
+
+    def test_lower_from_top_is_deterministic(self):
+        poset, _, a, b, top = self._diamond()
+        lowered = poset.lower(top)
+        assert lowered in (a, b)
+        # Tie broken by name: userA < userB lexicographically, and max()
+        # picks the largest key, so "userB" wins.
+        assert lowered.name == "userB"
+
+    def test_four_hasse_edges(self):
+        poset, *_ = self._diamond()
+        assert len(poset.hasse_edges()) == 4

@@ -1,0 +1,272 @@
+"""The four attach/detach semantics of Section IV (Figure 3, Figure 4)."""
+
+import pytest
+
+from repro.core.permissions import Access
+from repro.core.semantics import (
+    ActionKind, BasicSemantics, Decision, EwConsciousSemantics,
+    FcfsSemantics, make_semantics, Outcome, OutermostSemantics)
+
+PMO = "pmo1"
+R, W, RW = Access.READ, Access.WRITE, Access.RW
+
+
+def kinds(decision: Decision):
+    return [a.kind for a in decision.actions]
+
+
+class TestBasicSemantics:
+    def test_attach_then_access_then_detach(self):
+        s = BasicSemantics()
+        assert s.attach(1, PMO, RW, 0).outcome is Outcome.PERFORMED
+        assert s.access(1, PMO, R, 10).outcome is Outcome.OK
+        assert s.detach(1, PMO, 20).outcome is Outcome.PERFORMED
+
+    def test_access_outside_window_faults(self):
+        s = BasicSemantics()
+        s.attach(1, PMO, RW, 0)
+        s.detach(1, PMO, 10)
+        assert s.access(1, PMO, R, 20).outcome is Outcome.FAULT_SEGV
+
+    def test_nested_attach_is_error(self):
+        # Figure 3: third attach (line 7) returns an error under Basic.
+        s = BasicSemantics()
+        s.attach(1, PMO, RW, 0)
+        assert s.attach(1, PMO, RW, 5).outcome is Outcome.ERROR
+
+    def test_double_detach_is_error(self):
+        s = BasicSemantics()
+        s.attach(1, PMO, RW, 0)
+        s.detach(1, PMO, 5)
+        assert s.detach(1, PMO, 10).outcome is Outcome.ERROR
+
+    def test_detach_before_attach_is_error(self):
+        assert BasicSemantics().detach(1, PMO, 0).outcome is Outcome.ERROR
+
+    def test_concurrent_attach_from_other_thread_is_error(self):
+        s = BasicSemantics()
+        s.attach(1, PMO, RW, 0)
+        assert s.attach(2, PMO, RW, 5).outcome is Outcome.ERROR
+
+    def test_blocking_mode_blocks_other_thread(self):
+        # Figure 11 "basic semantics": other threads wait.
+        s = BasicSemantics(blocking=True)
+        s.attach(1, PMO, RW, 0)
+        assert s.attach(2, PMO, RW, 5).outcome is Outcome.BLOCKED
+        s.detach(1, PMO, 10)
+        assert s.attach(2, PMO, RW, 15).outcome is Outcome.PERFORMED
+
+    def test_blocking_mode_same_thread_reattach_still_error(self):
+        s = BasicSemantics(blocking=True)
+        s.attach(1, PMO, RW, 0)
+        assert s.attach(1, PMO, RW, 5).outcome is Outcome.ERROR
+
+    def test_permission_enforced(self):
+        s = BasicSemantics()
+        s.attach(1, PMO, R, 0)
+        assert s.access(1, PMO, W, 5).outcome is Outcome.FAULT_PERM
+
+    def test_detach_by_other_thread_is_error(self):
+        s = BasicSemantics()
+        s.attach(1, PMO, RW, 0)
+        assert s.detach(2, PMO, 5).outcome is Outcome.ERROR
+
+
+class TestOutermostSemantics:
+    def test_inner_pairs_silent(self):
+        s = OutermostSemantics()
+        assert s.attach(1, PMO, RW, 0).outcome is Outcome.PERFORMED
+        assert s.attach(1, PMO, RW, 5).outcome is Outcome.SILENT
+        assert s.detach(1, PMO, 10).outcome is Outcome.SILENT
+        assert s.detach(1, PMO, 15).outcome is Outcome.PERFORMED
+        assert not s.is_mapped(PMO)
+
+    def test_access_valid_between_inner_pairs(self):
+        # Figure 3: under Outermost, the access between the inner
+        # detach and outer detach is valid (the window never closed).
+        s = OutermostSemantics()
+        s.attach(1, PMO, RW, 0)
+        s.attach(1, PMO, RW, 2)
+        s.detach(1, PMO, 4)
+        assert s.access(1, PMO, R, 6).outcome is Outcome.OK
+
+    def test_window_can_grow_unboundedly(self):
+        # The paper's criticism: attached time can be arbitrarily long.
+        s = OutermostSemantics()
+        s.attach(1, PMO, RW, 0)
+        for t in range(1, 100):
+            s.attach(1, PMO, RW, t * 1000)
+            s.detach(1, PMO, t * 1000 + 500)
+        assert s.is_mapped(PMO)
+
+    def test_unbalanced_detach_is_error(self):
+        assert OutermostSemantics().detach(1, PMO, 0).outcome is Outcome.ERROR
+
+    def test_inner_attach_widens_permission(self):
+        s = OutermostSemantics()
+        s.attach(1, PMO, R, 0)
+        assert s.access(1, PMO, W, 1).outcome is Outcome.FAULT_PERM
+        s.attach(1, PMO, W, 2)
+        assert s.access(1, PMO, W, 3).outcome is Outcome.OK
+
+
+class TestFcfsSemantics:
+    def test_first_detach_performed(self):
+        s = FcfsSemantics()
+        s.attach(1, PMO, RW, 0)
+        s.attach(1, PMO, RW, 2)   # inner, silent
+        d = s.detach(1, PMO, 4)   # first detach after attach: performed
+        assert d.outcome is Outcome.PERFORMED
+        assert not s.is_mapped(PMO)
+
+    def test_access_triggers_reattach(self):
+        # Figure 3: "*valid (trigger reattach)".
+        s = FcfsSemantics()
+        s.attach(1, PMO, RW, 0)
+        s.attach(1, PMO, RW, 2)
+        s.detach(1, PMO, 4)
+        a = s.access(1, PMO, R, 6)
+        assert a.outcome is Outcome.REATTACH
+        assert s.is_mapped(PMO)
+        # The detach following the reattach is performed again.
+        assert s.detach(1, PMO, 8).outcome is Outcome.PERFORMED
+
+    def test_access_with_no_outstanding_attach_faults(self):
+        s = FcfsSemantics()
+        s.attach(1, PMO, RW, 0)
+        s.detach(1, PMO, 2)
+        assert s.access(1, PMO, R, 4).outcome is Outcome.FAULT_SEGV
+
+    def test_outer_attach_performed_inner_silent(self):
+        s = FcfsSemantics()
+        assert s.attach(1, PMO, RW, 0).outcome is Outcome.PERFORMED
+        assert s.attach(1, PMO, RW, 1).outcome is Outcome.SILENT
+
+    def test_detach_without_attach_is_error(self):
+        assert FcfsSemantics().detach(1, PMO, 0).outcome is Outcome.ERROR
+
+    def test_silent_detach_when_already_unmapped(self):
+        s = FcfsSemantics()
+        s.attach(1, PMO, RW, 0)
+        s.attach(1, PMO, RW, 1)
+        s.detach(1, PMO, 2)       # performed
+        assert s.detach(1, PMO, 3).outcome is Outcome.SILENT
+
+
+class TestEwConsciousSemantics:
+    """Figure 4 scenario and the Section IV-C rules."""
+
+    EW = 40_000  # 40us in ns
+
+    def make(self, **kw):
+        return EwConsciousSemantics(self.EW, **kw)
+
+    def test_first_attach_maps(self):
+        s = self.make()
+        d = s.attach(1, PMO, R, 0)
+        assert d.outcome is Outcome.PERFORMED
+        assert ActionKind.MAP in kinds(d)
+
+    def test_second_thread_attach_lowers_to_grant(self):
+        s = self.make()
+        s.attach(1, PMO, R, 0)
+        d = s.attach(2, PMO, RW, 5)
+        assert d.outcome is Outcome.SILENT
+        assert kinds(d) == [ActionKind.GRANT]
+
+    def test_figure4_scenario(self):
+        """Thread 1 attaches R; ld A ok, st B denied; thread 2 attaches
+        RW, st B ok; t1 detach keeps PMO mapped but revokes t1; t1 ld C
+        denied; t2 detach unmaps; st C segfaults; thread 3 never
+        attached, all accesses denied."""
+        s = self.make()
+        s.attach(1, PMO, R, 0)
+        assert s.access(1, PMO, R, 1).outcome is Outcome.OK        # ld A
+        assert s.access(1, PMO, W, 2).outcome is Outcome.FAULT_PERM  # st B
+        s.attach(2, PMO, RW, 3)
+        assert s.access(2, PMO, W, 4).outcome is Outcome.OK        # st B
+        d1 = s.detach(1, PMO, 5)
+        assert d1.outcome is Outcome.SILENT       # t2 still holds access
+        assert s.is_mapped(PMO)
+        assert s.access(1, PMO, R, 6).outcome is Outcome.FAULT_PERM  # ld C
+        d2 = s.detach(2, PMO, self.EW + 10)
+        assert d2.outcome is Outcome.PERFORMED    # last holder + EW passed
+        assert s.access(2, PMO, W, self.EW + 20).outcome is Outcome.FAULT_SEGV
+        # Thread 3 never attaches: denied while mapped too.
+        s2 = self.make()
+        s2.attach(1, PMO, RW, 0)
+        assert s2.access(3, PMO, R, 1).outcome is Outcome.FAULT_PERM
+
+    def test_within_thread_overlap_is_error(self):
+        s = self.make()
+        s.attach(1, PMO, R, 0)
+        assert s.attach(1, PMO, R, 5).outcome is Outcome.ERROR
+
+    def test_thread_can_reattach_after_its_detach(self):
+        s = self.make()
+        s.attach(1, PMO, R, 0)
+        s.detach(1, PMO, 10)
+        assert s.attach(1, PMO, R, 20).outcome in (
+            Outcome.PERFORMED, Outcome.SILENT)
+
+    def test_detach_before_ew_target_is_lowered(self):
+        s = self.make()
+        s.attach(1, PMO, R, 0)
+        d = s.detach(1, PMO, 10)   # well before 40us
+        assert d.outcome is Outcome.SILENT
+        assert s.is_mapped(PMO)    # real detach did not happen
+
+    def test_detach_after_ew_target_is_performed(self):
+        s = self.make()
+        s.attach(1, PMO, R, 0)
+        d = s.detach(1, PMO, self.EW + 1)
+        assert d.outcome is Outcome.PERFORMED
+        assert not s.is_mapped(PMO)
+
+    def test_randomize_when_target_met_but_holders_remain(self):
+        s = self.make()
+        s.attach(1, PMO, R, 0)
+        s.attach(2, PMO, R, 5)
+        d = s.detach(1, PMO, self.EW + 1)
+        assert ActionKind.RANDOMIZE in kinds(d)
+        assert s.is_mapped(PMO)
+        # Randomization resets the real-attach clock.
+        assert s.last_real_attach_ns(PMO) == self.EW + 1
+
+    def test_randomize_can_be_disabled_for_ablation(self):
+        s = self.make(randomize_on_partial=False)
+        s.attach(1, PMO, R, 0)
+        s.attach(2, PMO, R, 5)
+        d = s.detach(1, PMO, self.EW + 1)
+        assert ActionKind.RANDOMIZE not in kinds(d)
+
+    def test_detach_without_attach_is_error(self):
+        assert self.make().detach(1, PMO, 0).outcome is Outcome.ERROR
+
+    def test_thread_composability_no_cross_thread_errors(self):
+        """Two well-formed threads interleaved arbitrarily: no errors."""
+        s = self.make()
+        for t0 in range(0, 100_000, 7_000):
+            assert s.attach(1, PMO, RW, t0).outcome is not Outcome.ERROR
+            assert s.attach(2, PMO, RW, t0 + 1000).outcome is not Outcome.ERROR
+            assert s.detach(1, PMO, t0 + 3000).outcome is not Outcome.ERROR
+            assert s.detach(2, PMO, t0 + 4000).outcome is not Outcome.ERROR
+
+    def test_invalid_ew_target(self):
+        with pytest.raises(ValueError):
+            EwConsciousSemantics(0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("basic", BasicSemantics),
+        ("outermost", OutermostSemantics),
+        ("fcfs", FcfsSemantics),
+        ("ew-conscious", EwConsciousSemantics),
+    ])
+    def test_make(self, name, cls):
+        assert isinstance(make_semantics(name), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_semantics("bogus")

@@ -1,0 +1,153 @@
+"""Property-based tests of the semantics engines' core guarantees.
+
+The paper's composability claim, stated as properties:
+
+* any interleaving of *well-formed* threads (alternating attach →
+  detach per thread) produces no semantics errors under EW-conscious
+  semantics or the hardware engine;
+* a thread that detached cannot access until it re-attaches;
+* the hardware engine's circular buffer never leaks entries (every
+  PMO with holders is mapped; counters never go negative).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.cond_engine import TerpArchEngine
+from repro.core.permissions import Access
+from repro.core.semantics import EwConsciousSemantics, Outcome
+from repro.core.units import us
+
+N_THREADS = 3
+PMOS = ["p0", "p1"]
+
+
+@st.composite
+def interleavings(draw):
+    """A time-ordered event list where each thread alternates
+    attach/detach per PMO (well-formed threads)."""
+    n_events = draw(st.integers(5, 60))
+    open_state = {}
+    events = []
+    t = 0
+    for _ in range(n_events):
+        t += draw(st.integers(100, 30_000))
+        thread = draw(st.integers(0, N_THREADS - 1))
+        pmo = draw(st.sampled_from(PMOS))
+        key = (thread, pmo)
+        kind = draw(st.sampled_from(["attach", "detach", "access"]))
+        if kind == "attach" and not open_state.get(key):
+            open_state[key] = True
+            events.append(("attach", thread, pmo, t))
+        elif kind == "detach" and open_state.get(key):
+            open_state[key] = False
+            events.append(("detach", thread, pmo, t))
+        else:
+            events.append(("access", thread, pmo, t))
+    return events
+
+
+def run_events(engine, events):
+    outcomes = []
+    for kind, thread, pmo, t in events:
+        if kind == "attach":
+            outcomes.append(engine.attach(thread, pmo, Access.RW, t))
+        elif kind == "detach":
+            outcomes.append(engine.detach(thread, pmo, t))
+        else:
+            outcomes.append(engine.access(thread, pmo, Access.READ, t))
+    return outcomes
+
+
+class TestComposabilityProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(interleavings())
+    def test_ew_conscious_never_errors_on_well_formed_threads(self, events):
+        engine = EwConsciousSemantics(us(40))
+        for decision in run_events(engine, events):
+            assert decision.outcome is not Outcome.ERROR
+
+    @settings(max_examples=80, deadline=None)
+    @given(interleavings())
+    def test_arch_engine_never_errors_on_well_formed_threads(self, events):
+        engine = TerpArchEngine(us(40))
+        for decision in run_events(engine, events):
+            assert decision.outcome is not Outcome.ERROR
+
+    @settings(max_examples=60, deadline=None)
+    @given(interleavings())
+    def test_access_inside_own_window_always_ok(self, events):
+        """If a thread is between its attach and detach, its reads
+        succeed (EW-conscious thread composability)."""
+        engine = EwConsciousSemantics(us(40))
+        open_state = {}
+        for kind, thread, pmo, t in events:
+            if kind == "attach":
+                engine.attach(thread, pmo, Access.RW, t)
+                open_state[(thread, pmo)] = True
+            elif kind == "detach":
+                engine.detach(thread, pmo, t)
+                open_state[(thread, pmo)] = False
+            else:
+                decision = engine.access(thread, pmo, Access.READ, t)
+                if open_state.get((thread, pmo)):
+                    assert decision.outcome is Outcome.OK
+
+    @settings(max_examples=60, deadline=None)
+    @given(interleavings())
+    def test_access_after_detach_always_denied(self, events):
+        engine = EwConsciousSemantics(us(40))
+        open_state = {}
+        for kind, thread, pmo, t in events:
+            if kind == "attach":
+                engine.attach(thread, pmo, Access.RW, t)
+                open_state[(thread, pmo)] = True
+            elif kind == "detach":
+                engine.detach(thread, pmo, t)
+                open_state[(thread, pmo)] = False
+            else:
+                decision = engine.access(thread, pmo, Access.READ, t)
+                if not open_state.get((thread, pmo)):
+                    assert decision.outcome is not Outcome.OK
+
+
+class TestArchEngineInvariants:
+    @settings(max_examples=80, deadline=None)
+    @given(interleavings(), st.integers(0, 3))
+    def test_circular_buffer_consistency(self, events, sweep_mod):
+        """CB invariants hold at every step, with sweeps mixed in."""
+        engine = TerpArchEngine(us(40))
+        for i, (kind, thread, pmo, t) in enumerate(events):
+            if kind == "attach":
+                engine.attach(thread, pmo, Access.RW, t)
+            elif kind == "detach":
+                engine.detach(thread, pmo, t)
+            else:
+                engine.access(thread, pmo, Access.READ, t)
+            if sweep_mod and i % (sweep_mod + 1) == 0:
+                engine.sweep(t)
+            for entry in engine.cb.entries():
+                assert entry.ctr >= 0
+                assert entry.ctr == len(engine.holders(entry.pmo_id))
+                # An entry with holders is never in delayed-detach.
+                if entry.ctr > 0:
+                    assert not entry.dd
+                # Buffered PMOs are mapped.
+                assert engine.is_mapped(entry.pmo_id)
+
+    @settings(max_examples=50, deadline=None)
+    @given(interleavings())
+    def test_sweep_enforces_ew_bound(self, events):
+        """After a sweep at time T, no unheld PMO has been mapped at
+        one address longer than the EW target."""
+        engine = TerpArchEngine(us(40))
+        last_t = 0
+        for kind, thread, pmo, t in events:
+            if kind == "attach":
+                engine.attach(thread, pmo, Access.RW, t)
+            elif kind == "detach":
+                engine.detach(thread, pmo, t)
+            last_t = t
+        engine.sweep(last_t + us(41))
+        for entry in engine.cb.entries():
+            age = entry.age_ns(last_t + us(41))
+            assert age < us(41)

@@ -1,0 +1,99 @@
+"""Theorem 6 (temporal protection), including property-based search
+for counterexamples."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import TerpError
+from repro.core.theorem import (
+    attack_can_succeed, Schedule, terp_schedule, theorem_holds)
+
+
+class TestSchedule:
+    def test_windows_must_be_sorted_disjoint(self):
+        with pytest.raises(TerpError):
+            Schedule.of([(0, 10), (5, 15)])
+
+    def test_max_exposure(self):
+        s = Schedule.of([(0, 10), (20, 50)])
+        assert s.max_exposure_ns() == 30
+
+    def test_relocation_cuts_stretches(self):
+        s = Schedule.of([(0, 100)], relocations=[40])
+        stretches = s.stationary_accessible_stretches()
+        assert [(w.start_ns, w.end_ns) for w in stretches] == \
+            [(0, 40), (40, 100)]
+        assert s.longest_stationary_accessible_ns() == 60
+
+    def test_relocation_outside_window_ignored(self):
+        s = Schedule.of([(0, 10)], relocations=[50])
+        assert s.longest_stationary_accessible_ns() == 10
+
+    def test_empty_schedule(self):
+        s = Schedule.of([])
+        assert s.max_exposure_ns() == 0
+        assert not attack_can_succeed(s, 1)
+
+
+class TestAttackPredicate:
+    def test_attack_needs_contiguous_stretch(self):
+        # Two 30ns windows do not help a 40ns attack.
+        s = Schedule.of([(0, 30), (100, 130)])
+        assert not attack_can_succeed(s, 40)
+        assert attack_can_succeed(s, 30)
+
+    def test_relocation_defeats_long_window(self):
+        # A 100ns window re-randomized every 40ns blocks a 50ns attack.
+        s = Schedule.of([(0, 100)], relocations=[40, 80])
+        assert not attack_can_succeed(s, 50)
+        assert attack_can_succeed(s, 40)
+
+    def test_invalid_attack_time(self):
+        with pytest.raises(TerpError):
+            attack_can_succeed(Schedule.of([]), 0)
+
+
+class TestTheorem:
+    def test_holds_on_terp_schedule(self):
+        # EW 40us out of each 100us, randomized at window ends:
+        # any attack needing > 40us is prevented.
+        s = terp_schedule(ew_ns=40_000, period_ns=100_000,
+                          horizon_ns=1_000_000)
+        assert theorem_holds(s, 40_001)
+        assert not attack_can_succeed(s, 40_001)
+
+    def test_vacuous_when_premise_fails(self):
+        # Windows of 100 >= t=50 and no relocation: premise fails, the
+        # implication is vacuously true even though the attack works.
+        s = Schedule.of([(0, 100)])
+        assert attack_can_succeed(s, 50)
+        assert theorem_holds(s, 50)
+
+    def test_window_longer_than_period_rejected(self):
+        with pytest.raises(TerpError):
+            terp_schedule(ew_ns=200, period_ns=100, horizon_ns=1000)
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 10_000),
+                              st.integers(1, 500)), max_size=12),
+           st.lists(st.integers(0, 11_000), max_size=12),
+           st.integers(1, 2_000))
+    def test_no_counterexample_exists(self, raw_windows, relocations,
+                                      attack_time):
+        """Property: the theorem's implication holds on every valid
+        schedule hypothesis can construct."""
+        windows = []
+        cursor = 0
+        for gap, length in raw_windows:
+            start = cursor + gap
+            windows.append((start, start + length))
+            cursor = start + length
+        schedule = Schedule.of(windows, relocations)
+        assert theorem_holds(schedule, attack_time)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(1_000, 50_000), st.integers(1, 3))
+    def test_terp_schedule_blocks_attacks_beyond_ew(self, ew_ns, k):
+        schedule = terp_schedule(ew_ns=ew_ns, period_ns=2 * ew_ns,
+                                 horizon_ns=20 * ew_ns)
+        assert not attack_can_succeed(schedule, ew_ns + k)

@@ -1,0 +1,51 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro.core import units
+
+
+def test_us_is_integral_nanoseconds():
+    assert units.us(40) == 40_000
+    assert units.us(2) == 2_000
+    assert isinstance(units.us(1.5), int)
+
+
+def test_us_rounds_fractional_values():
+    assert units.us(0.1) == 100
+    assert units.us(0.0004) == 0
+
+
+def test_ms_and_seconds():
+    assert units.ms(1) == 1_000_000
+    assert units.seconds(1) == 1_000_000_000
+    assert units.seconds(0.000001) == units.us(1)
+
+
+def test_ns_to_us_roundtrip():
+    assert units.ns_to_us(units.us(40)) == pytest.approx(40.0)
+
+
+def test_cycles_to_ns_at_core_frequency():
+    # 2200 cycles at 2.2 GHz is exactly 1000 ns.
+    assert units.cycles_to_ns(2200) == 1000
+
+
+def test_cycles_to_ns_minimum_one_ns():
+    assert units.cycles_to_ns(1) == 1
+    assert units.cycles_to_ns(0) == 0
+    assert units.cycles_to_ns(-5) == 0
+
+
+def test_ns_to_cycles_inverse():
+    assert units.ns_to_cycles(1000) == pytest.approx(2200)
+
+
+def test_table2_attach_cost_in_ns():
+    # Attach() is 4422 cycles in Table II -> ~2010 ns at 2.2 GHz.
+    assert units.cycles_to_ns(4422) == pytest.approx(2010, abs=1)
+
+
+def test_sizes():
+    assert units.GIB == 1024 ** 3
+    assert units.PAGE_SIZE == 4096

@@ -1,0 +1,52 @@
+"""Table/figure text rendering helpers."""
+
+import pytest
+
+from repro.eval.tables import render_grouped_bars, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_rule(self):
+        text = render_table(["name", "value"],
+                            [["a", 1.5], ["longer-name", 20]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("name")
+        assert set(lines[2]) <= {"-", " "}
+        # Columns aligned: the header and rows share column offsets.
+        value_col = lines[1].index("value")
+        assert lines[3][value_col:].strip().startswith("1.50")
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [[3.14159], [12345.6]])
+        assert "3.14" in text
+        assert "12346" in text   # large floats drop decimals
+
+    def test_no_title(self):
+        text = render_table(["h"], [["v"]])
+        assert text.splitlines()[0] == "h"
+
+
+class TestRenderGroupedBars:
+    def test_groups_and_bars(self):
+        text = render_grouped_bars(
+            {"bench1": {"MM": 20.0, "TT": 5.0}},
+            title="Overheads")
+        assert "Overheads" in text
+        assert "bench1:" in text
+        assert "MM" in text and "TT" in text
+        # Bars scale with values.
+        mm_line = next(l for l in text.splitlines() if "MM" in l)
+        tt_line = next(l for l in text.splitlines() if "TT" in l)
+        assert mm_line.count("#") > tt_line.count("#")
+
+    def test_bar_scale(self):
+        text = render_grouped_bars({"g": {"a": 100.0}}, bar_scale=0.1)
+        line = next(l for l in text.splitlines() if "a" in l)
+        assert line.count("#") == 10
+
+    def test_minimum_one_hash(self):
+        text = render_grouped_bars({"g": {"tiny": 0.01}})
+        line = next(l for l in text.splitlines() if "tiny" in l)
+        assert line.count("#") == 1

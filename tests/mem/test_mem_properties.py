@@ -1,0 +1,118 @@
+"""Property-based tests of the memory substrate against models."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.permissions import Access
+from repro.core.units import PAGE_SIZE
+from repro.mem.mpk import NUM_KEYS, Pkru
+from repro.mem.page_table import PageTable
+from repro.mem.permission_matrix import PermissionMatrix
+from repro.mem.tlb import Tlb
+
+
+class TestPageTableModel:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 40)),
+                    max_size=60))
+    def test_map_unmap_matches_dict_model(self, ops):
+        """Random page map/unmap mirrors a simple dict."""
+        pt = PageTable()
+        model = {}
+        for do_map, slot in ops:
+            va = slot * PAGE_SIZE
+            if do_map and slot not in model:
+                pt.map_pages(va, f"o{slot}", 1)
+                model[slot] = f"o{slot}"
+            elif not do_map and slot in model:
+                pt.unmap_pages(va, 1)
+                del model[slot]
+        for slot in range(41):
+            frame = pt.walk(slot * PAGE_SIZE)
+            if slot in model:
+                assert frame is not None and frame.owner == model[slot]
+            else:
+                assert frame is None
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 500))
+    def test_pte_writes_at_least_pages(self, n_pages):
+        pt = PageTable()
+        pt.map_pages(0, "x", n_pages)
+        assert pt.pte_writes >= n_pages
+
+
+class TestPermissionMatrixModel:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 7), st.booleans()),
+                    max_size=40))
+    def test_add_remove_matches_model(self, ops):
+        matrix = PermissionMatrix(capacity=16)
+        model = {}
+        for slot, add in ops:
+            pmo = f"p{slot}"
+            base = slot * 0x10000
+            if add and pmo not in model:
+                matrix.add(pmo, base, 0x1000, Access.RW)
+                model[pmo] = base
+            elif not add and pmo in model:
+                matrix.remove(pmo)
+                del model[pmo]
+        for slot in range(8):
+            pmo = f"p{slot}"
+            covered = matrix.check(slot * 0x10000, Access.READ)
+            assert covered == (pmo in model)
+
+
+class TestPkruModel:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.integers(1, NUM_KEYS - 1),
+                              st.sampled_from(["r", "rw", "revoke"])),
+                    max_size=40))
+    def test_set_revoke_matches_model(self, ops):
+        pkru = Pkru()
+        model = {}
+        for key, mode in ops:
+            if mode == "revoke":
+                pkru.revoke(key)
+                model[key] = ""
+            else:
+                pkru.set(key, Access.parse(mode))
+                model[key] = mode
+        for key, mode in model.items():
+            assert pkru.allows(key, Access.READ) == ("r" in mode)
+            assert pkru.allows(key, Access.WRITE) == ("w" in mode)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, NUM_KEYS - 1), st.integers(1, NUM_KEYS - 1))
+    def test_keys_do_not_interfere(self, a, b):
+        if a == b:
+            return
+        pkru = Pkru()
+        pkru.set(a, Access.RW)
+        pkru.revoke(b)
+        assert pkru.allows(a, Access.RW)
+        assert not pkru.allows(b, Access.READ)
+
+
+class TestTlbModel:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(0, 200), min_size=1, max_size=120))
+    def test_hits_only_for_recent_fills(self, pages):
+        """Anything the TLB reports as a hit must have been filled
+        and not evicted; a model of per-set recency predicts hits."""
+        tlb = Tlb(entries=16, ways=2)
+        from collections import OrderedDict
+        model_sets = [OrderedDict() for _ in range(tlb.num_sets)]
+        for page in pages:
+            va = page * PAGE_SIZE
+            hit = tlb.lookup(va)
+            entries = model_sets[page % tlb.num_sets]
+            assert hit == (page in entries)
+            if page in entries:
+                entries.move_to_end(page)
+            else:
+                if len(entries) >= 2:
+                    entries.popitem(last=False)
+                entries[page] = True
+            tlb.fill(va)

@@ -1,0 +1,122 @@
+"""MPK-style protection domains and per-thread PKRUs."""
+
+import pytest
+
+from repro.core.errors import TerpError
+from repro.core.permissions import Access
+from repro.mem.mpk import DEFAULT_KEY, NUM_KEYS, Pkru, ProtectionDomains
+
+
+class TestPkru:
+    def test_fresh_pkru_allows_default_key(self):
+        assert Pkru().allows(DEFAULT_KEY, Access.RW)
+
+    def test_set_read_only(self):
+        pkru = Pkru()
+        pkru.set(3, Access.READ)
+        assert pkru.allows(3, Access.READ)
+        assert not pkru.allows(3, Access.WRITE)
+
+    def test_set_rw(self):
+        pkru = Pkru()
+        pkru.set(3, Access.RW)
+        assert pkru.allows(3, Access.RW)
+
+    def test_revoke(self):
+        pkru = Pkru()
+        pkru.set(3, Access.RW)
+        pkru.revoke(3)
+        assert not pkru.allows(3, Access.READ)
+
+    def test_keys_independent(self):
+        pkru = Pkru()
+        pkru.set(1, Access.RW)
+        pkru.revoke(2)
+        assert pkru.allows(1, Access.WRITE)
+        assert not pkru.allows(2, Access.READ)
+
+    def test_granted_roundtrip(self):
+        pkru = Pkru()
+        pkru.set(5, Access.READ)
+        assert pkru.granted(5) is Access.READ
+        pkru.set(5, Access.RW)
+        assert pkru.granted(5) is Access.RW
+
+    def test_key_out_of_range(self):
+        with pytest.raises(TerpError):
+            Pkru().set(NUM_KEYS, Access.READ)
+        with pytest.raises(TerpError):
+            Pkru().allows(-1, Access.READ)
+
+
+class TestProtectionDomains:
+    def test_assign_is_stable(self):
+        d = ProtectionDomains()
+        k1 = d.assign("pmo1")
+        assert d.assign("pmo1") == k1
+        assert d.key_of("pmo1") == k1
+
+    def test_distinct_pmos_distinct_keys(self):
+        d = ProtectionDomains()
+        assert d.assign("a") != d.assign("b")
+
+    def test_key_exhaustion(self):
+        d = ProtectionDomains()
+        for i in range(NUM_KEYS - 1):  # key 0 reserved
+            d.assign(f"pmo{i}")
+        with pytest.raises(TerpError):
+            d.assign("one-too-many")
+
+    def test_release_recycles_key(self):
+        d = ProtectionDomains()
+        k = d.assign("a")
+        d.release("a")
+        assert d.assign("b") == k
+
+    def test_new_thread_denied_by_default(self):
+        """Figure 4 thread 3: no attach call, all accesses denied."""
+        d = ProtectionDomains()
+        d.assign("pmo1")
+        assert not d.allows(thread_id=3, pmo_id="pmo1", requested=Access.READ)
+
+    def test_grant_and_revoke(self):
+        d = ProtectionDomains()
+        d.assign("pmo1")
+        d.grant(1, "pmo1", Access.READ)
+        assert d.allows(1, "pmo1", Access.READ)
+        assert not d.allows(1, "pmo1", Access.WRITE)
+        d.revoke(1, "pmo1")
+        assert not d.allows(1, "pmo1", Access.READ)
+
+    def test_grants_are_per_thread(self):
+        d = ProtectionDomains()
+        d.assign("pmo1")
+        d.grant(1, "pmo1", Access.RW)
+        assert d.allows(1, "pmo1", Access.WRITE)
+        assert not d.allows(2, "pmo1", Access.READ)
+
+    def test_release_revokes_all_threads(self):
+        """A recycled key must not leak access to its next owner."""
+        d = ProtectionDomains()
+        d.assign("old")
+        d.grant(1, "old", Access.RW)
+        d.release("old")
+        d.assign("new")  # gets the same key
+        assert not d.allows(1, "new", Access.READ)
+
+    def test_allows_unassigned_pmo_false(self):
+        assert not ProtectionDomains().allows(1, "ghost", Access.READ)
+
+    def test_grant_unassigned_pmo_rejected(self):
+        with pytest.raises(TerpError):
+            ProtectionDomains().grant(1, "ghost", Access.READ)
+
+    def test_pkru_write_counter(self):
+        d = ProtectionDomains()
+        d.assign("p")
+        d.grant(1, "p", Access.RW)
+        d.revoke(1, "p")
+        assert d.pkru_writes == 2
+
+    def test_release_unknown_is_noop(self):
+        ProtectionDomains().release("ghost")  # must not raise

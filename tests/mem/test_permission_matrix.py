@@ -1,0 +1,86 @@
+"""MERR permission matrix (Figure 1b)."""
+
+import pytest
+
+from repro.core.errors import TerpError
+from repro.core.permissions import Access
+from repro.mem.permission_matrix import PermissionMatrix
+
+
+@pytest.fixture
+def matrix():
+    return PermissionMatrix()
+
+
+def test_add_and_check(matrix):
+    matrix.add("pmo1", 0x1000_0000, 0x1000, Access.RW)
+    assert matrix.check(0x1000_0000, Access.READ)
+    assert matrix.check(0x1000_0fff, Access.WRITE)
+
+
+def test_check_outside_range_denied(matrix):
+    matrix.add("pmo1", 0x1000_0000, 0x1000, Access.RW)
+    assert not matrix.check(0x1000_1000, Access.READ)
+    assert not matrix.check(0x0fff_ffff, Access.READ)
+
+
+def test_permission_kind_enforced(matrix):
+    matrix.add("pmo1", 0, 0x1000, Access.READ)
+    assert matrix.check(0, Access.READ)
+    assert not matrix.check(0, Access.WRITE)
+
+
+def test_duplicate_pmo_rejected(matrix):
+    matrix.add("pmo1", 0, 0x1000, Access.RW)
+    with pytest.raises(TerpError):
+        matrix.add("pmo1", 0x2000, 0x1000, Access.RW)
+
+
+def test_overlapping_ranges_rejected(matrix):
+    matrix.add("pmo1", 0, 0x2000, Access.RW)
+    with pytest.raises(TerpError):
+        matrix.add("pmo2", 0x1000, 0x2000, Access.RW)
+
+
+def test_capacity_limit():
+    matrix = PermissionMatrix(capacity=2)
+    matrix.add("a", 0, 0x1000, Access.RW)
+    matrix.add("b", 0x10000, 0x1000, Access.RW)
+    with pytest.raises(TerpError):
+        matrix.add("c", 0x20000, 0x1000, Access.RW)
+
+
+def test_remove(matrix):
+    matrix.add("pmo1", 0, 0x1000, Access.RW)
+    entry = matrix.remove("pmo1")
+    assert entry.pmo_id == "pmo1"
+    assert not matrix.check(0, Access.READ)
+    with pytest.raises(TerpError):
+        matrix.remove("pmo1")
+
+
+def test_relocate_moves_range(matrix):
+    matrix.add("pmo1", 0, 0x1000, Access.RW)
+    matrix.relocate("pmo1", 0x5000)
+    assert not matrix.check(0, Access.READ)
+    assert matrix.check(0x5000, Access.READ)
+
+
+def test_relocate_missing_rejected(matrix):
+    with pytest.raises(TerpError):
+        matrix.relocate("nope", 0x5000)
+
+
+def test_counters(matrix):
+    matrix.add("pmo1", 0, 0x1000, Access.RW)
+    matrix.check(0, Access.READ)
+    matrix.check(0x800, Access.READ)
+    assert matrix.updates == 1
+    assert matrix.checks == 2
+
+
+def test_lookup_va_identifies_pmo(matrix):
+    matrix.add("a", 0, 0x1000, Access.RW)
+    matrix.add("b", 0x10000, 0x1000, Access.READ)
+    assert matrix.lookup_va(0x10800).pmo_id == "b"
+    assert matrix.lookup_va(0x5000) is None

@@ -1,0 +1,62 @@
+"""Syscall-path cost composition vs Table II."""
+
+import pytest
+
+from repro.arch.params import DEFAULT_PARAMS
+from repro.core.units import GIB, MIB
+from repro.mem.syscalls import (
+    attach_cost, detach_cost, page_based_attach_penalty,
+    randomize_cost, STEP_COSTS)
+
+
+class TestComposedTotals:
+    def test_attach_matches_table2(self):
+        assert attach_cost().total_cycles == pytest.approx(
+            DEFAULT_PARAMS.attach_syscall, rel=0.05)
+
+    def test_detach_matches_table2(self):
+        assert detach_cost().total_cycles == pytest.approx(
+            DEFAULT_PARAMS.detach_syscall, rel=0.05)
+
+    def test_randomize_matches_table2(self):
+        assert randomize_cost().total_cycles == pytest.approx(
+            DEFAULT_PARAMS.randomization, rel=0.05)
+
+    def test_breakdown_sums_to_total(self):
+        cost = attach_cost()
+        assert sum(cost.breakdown().values()) == cost.total_cycles
+
+
+class TestSensitivity:
+    def test_embedded_subtree_is_size_independent(self):
+        small = attach_cost(embedded_subtree=True, pmo_pages=1)
+        large = attach_cost(embedded_subtree=True, pmo_pages=262_144)
+        assert small.total_cycles == large.total_cycles
+
+    def test_page_based_attach_scales_with_size(self):
+        small = attach_cost(embedded_subtree=False, pmo_pages=16)
+        large = attach_cost(embedded_subtree=False, pmo_pages=1024)
+        assert large.total_cycles > small.total_cycles
+
+    def test_1gb_pmo_penalty_is_enormous(self):
+        """The motivation for embedding the subtree: a conventional
+        attach of a 1GB PMO costs thousands of times more."""
+        assert page_based_attach_penalty(GIB) > 1_000
+        assert page_based_attach_penalty(2 * MIB) > 3
+
+    def test_randomize_scales_with_core_count(self):
+        few = randomize_cost(remote_cores=1)
+        many = randomize_cost(remote_cores=15)
+        assert many.total_cycles > few.total_cycles
+        assert (many.total_cycles - few.total_cycles) == \
+            14 * STEP_COSTS["tlb_shootdown_ipi"]
+
+    def test_mode_switch_dominates_fast_attach(self):
+        """With O(1) mapping, the syscall mechanics (mode switch,
+        state save) are the cost — the argument for making silent
+        conditional ops user-level (27 cycles)."""
+        breakdown = attach_cost().breakdown()
+        mechanics = breakdown["mode_switch"] + \
+            breakdown["state_save_restore"]
+        assert mechanics > breakdown["pte_write"] * 10
+        assert DEFAULT_PARAMS.silent_cond < mechanics / 40

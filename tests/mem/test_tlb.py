@@ -1,0 +1,99 @@
+"""TLB models (Table II geometry and shootdown behaviour)."""
+
+import pytest
+
+from repro.core.units import PAGE_SIZE
+from repro.mem.tlb import Tlb, TlbHierarchy
+
+
+class TestTlb:
+    def test_miss_then_hit(self):
+        tlb = Tlb(entries=64, ways=4)
+        assert not tlb.lookup(0x1000)
+        tlb.fill(0x1000, "pmo")
+        assert tlb.lookup(0x1000)
+        assert tlb.stats.hits == 1 and tlb.stats.misses == 1
+
+    def test_entries_must_divide_by_ways(self):
+        with pytest.raises(ValueError):
+            Tlb(entries=65, ways=4)
+
+    def test_lru_eviction_within_set(self):
+        tlb = Tlb(entries=8, ways=2)  # 4 sets
+        # Pages 0, 4, 8 all map to set 0 (page % 4 == 0).
+        tlb.fill(0 * PAGE_SIZE)
+        tlb.fill(4 * PAGE_SIZE)
+        tlb.fill(8 * PAGE_SIZE)  # evicts page 0 (LRU)
+        assert not tlb.lookup(0 * PAGE_SIZE)
+        assert tlb.lookup(4 * PAGE_SIZE)
+        assert tlb.lookup(8 * PAGE_SIZE)
+
+    def test_lookup_refreshes_lru(self):
+        tlb = Tlb(entries=8, ways=2)
+        tlb.fill(0 * PAGE_SIZE)
+        tlb.fill(4 * PAGE_SIZE)
+        tlb.lookup(0 * PAGE_SIZE)          # page 0 now MRU
+        tlb.fill(8 * PAGE_SIZE)            # evicts page 4
+        assert tlb.lookup(0 * PAGE_SIZE)
+        assert not tlb.lookup(4 * PAGE_SIZE)
+
+    def test_invalidate_page(self):
+        tlb = Tlb(entries=64, ways=4)
+        tlb.fill(0x1000)
+        assert tlb.invalidate_page(0x1000)
+        assert not tlb.invalidate_page(0x1000)
+        assert not tlb.lookup(0x1000)
+
+    def test_invalidate_owner_removes_only_that_pmo(self):
+        """The per-PMO shootdown used by detach and randomization."""
+        tlb = Tlb(entries=64, ways=4)
+        for page in range(8):
+            tlb.fill(page * PAGE_SIZE, "pmo1")
+        tlb.fill(100 * PAGE_SIZE, "pmo2")
+        removed = tlb.invalidate_owner("pmo1")
+        assert removed == 8
+        assert tlb.lookup(100 * PAGE_SIZE)
+        assert not tlb.lookup(0)
+        assert tlb.stats.shootdowns == 1
+
+    def test_flush(self):
+        tlb = Tlb(entries=64, ways=4)
+        for page in range(10):
+            tlb.fill(page * PAGE_SIZE)
+        assert tlb.flush() == 10
+        assert tlb.occupancy() == 0
+
+    def test_double_fill_is_idempotent(self):
+        tlb = Tlb(entries=64, ways=4)
+        tlb.fill(0x1000)
+        tlb.fill(0x1000)
+        assert tlb.occupancy() == 1
+
+
+class TestTlbHierarchy:
+    def test_cold_access_pays_walk(self):
+        h = TlbHierarchy()
+        latency = h.access(0x1000)
+        assert latency == 1 + 4 + 30
+
+    def test_warm_access_is_one_cycle(self):
+        h = TlbHierarchy()
+        h.access(0x1000)
+        assert h.access(0x1000) == 1
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = TlbHierarchy()
+        h.access(0x1000)
+        # Thrash L1 set of page 1 with conflicting pages (same set,
+        # stride = num_sets pages), enough to evict page 1 from L1 but
+        # not from the much larger L2.
+        sets = h.l1.num_sets
+        for i in range(1, 6):
+            h.access((1 + i * sets) * PAGE_SIZE)
+        assert h.access(1 * PAGE_SIZE) == 1 + 4
+
+    def test_invalidate_owner_hits_both_levels(self):
+        h = TlbHierarchy()
+        h.access(0x1000, owner="pmo")
+        assert h.invalidate_owner("pmo") == 2  # L1 + L2 entries
+        assert h.access(0x1000, owner="pmo") == 35

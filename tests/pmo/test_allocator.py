@@ -1,0 +1,157 @@
+"""Persistent heap allocator (pmalloc/pfree substrate)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import OutOfPersistentMemory, PmoError
+from repro.pmo.allocator import ALIGNMENT, HEADER_SIZE, HeapAllocator
+from repro.pmo.pmo import SparseBytes
+
+
+def make_heap(size=64 * 1024):
+    mem = SparseBytes(size)
+    return HeapAllocator(mem, base=0, size=size), mem
+
+
+class TestAllocate:
+    def test_returns_distinct_offsets(self):
+        heap, _ = make_heap()
+        a = heap.allocate(100)
+        b = heap.allocate(100)
+        assert a != b
+
+    def test_allocations_do_not_overlap(self):
+        heap, _ = make_heap()
+        offsets = [(heap.allocate(n), n) for n in (10, 200, 33, 64, 128)]
+        spans = sorted((off, off + n) for off, n in offsets)
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert end <= start
+
+    def test_payload_alignment(self):
+        heap, _ = make_heap()
+        for n in (1, 7, 100):
+            off = heap.allocate(n)
+            assert off % ALIGNMENT == 0
+
+    def test_zero_size_rejected(self):
+        heap, _ = make_heap()
+        with pytest.raises(PmoError):
+            heap.allocate(0)
+
+    def test_exhaustion(self):
+        heap, _ = make_heap(1024)
+        with pytest.raises(OutOfPersistentMemory):
+            for _ in range(100):
+                heap.allocate(64)
+
+    def test_counters(self):
+        heap, _ = make_heap()
+        a = heap.allocate(10)
+        heap.free(a)
+        assert heap.alloc_count == 1
+        assert heap.free_count == 1
+
+
+class TestFree:
+    def test_free_makes_space_reusable(self):
+        heap, _ = make_heap(2048)
+        offsets = []
+        while True:
+            try:
+                offsets.append(heap.allocate(100))
+            except OutOfPersistentMemory:
+                break
+        for off in offsets:
+            heap.free(off)
+        # Everything freed and coalesced: the big allocation now fits.
+        big = heap.allocate(1024)
+        assert big > 0
+
+    def test_double_free_rejected(self):
+        heap, _ = make_heap()
+        off = heap.allocate(10)
+        heap.free(off)
+        with pytest.raises(PmoError):
+            heap.free(off)
+
+    def test_free_bad_offset_rejected(self):
+        heap, _ = make_heap()
+        with pytest.raises(PmoError):
+            heap.free(10 ** 9)
+
+    def test_coalescing_merges_neighbours(self):
+        heap, _ = make_heap(4096)
+        a = heap.allocate(500)
+        b = heap.allocate(500)
+        c = heap.allocate(500)
+        heap.free(a)
+        heap.free(c)
+        heap.free(b)  # b bridges a and c: one big free block results
+        _, free_blocks = heap.block_count()
+        assert free_blocks == 1
+
+    def test_is_allocated(self):
+        heap, _ = make_heap()
+        off = heap.allocate(10)
+        assert heap.is_allocated(off)
+        heap.free(off)
+        assert not heap.is_allocated(off)
+        assert not heap.is_allocated(123456789)
+
+
+class TestRecovery:
+    def test_allocated_blocks_survive_recovery(self):
+        mem = SparseBytes(8192)
+        heap = HeapAllocator(mem, base=0, size=8192)
+        keep = heap.allocate(100)
+        drop = heap.allocate(100)
+        heap.free(drop)
+        # Simulate restart: new allocator over the same bytes.
+        heap2 = HeapAllocator(mem, base=0, size=8192, recover=True)
+        assert heap2.is_allocated(keep)
+        assert not heap2.is_allocated(drop)
+        assert heap2.allocated_bytes == heap.allocated_bytes
+
+    def test_recovered_heap_can_allocate(self):
+        mem = SparseBytes(8192)
+        heap = HeapAllocator(mem, base=0, size=8192)
+        heap.allocate(100)
+        heap2 = HeapAllocator(mem, base=0, size=8192, recover=True)
+        off = heap2.allocate(50)
+        assert heap2.is_allocated(off)
+
+    def test_too_small_heap_rejected(self):
+        with pytest.raises(PmoError):
+            HeapAllocator(SparseBytes(16), base=0, size=16)
+
+
+class TestAllocatorProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(1, 400), min_size=1, max_size=40))
+    def test_alloc_free_all_restores_capacity(self, sizes):
+        """Allocate a batch, free it all: one free block remains."""
+        heap, _ = make_heap(64 * 1024)
+        offsets = [heap.allocate(n) for n in sizes]
+        for off in offsets:
+            heap.free(off)
+        allocated, free_blocks = heap.block_count()
+        assert allocated == 0
+        assert free_blocks == 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_interleaved_alloc_free_never_overlaps(self, data):
+        heap, _ = make_heap(64 * 1024)
+        live = {}
+        for _ in range(40):
+            if live and data.draw(st.booleans()):
+                off = data.draw(st.sampled_from(sorted(live)))
+                heap.free(off)
+                del live[off]
+            else:
+                size = data.draw(st.integers(1, 300))
+                off = heap.allocate(size)
+                live[off] = size
+            spans = sorted((o, o + max(n, 16)) for o, n in live.items())
+            for (_, end), (start, _) in zip(spans, spans[1:]):
+                assert end <= start

@@ -1,0 +1,124 @@
+"""The Table I facade (PmoLibrary) end to end."""
+
+import pytest
+
+from repro.core.errors import PmoError, ProtectionFault, SegmentationFault
+from repro.core.permissions import Access
+from repro.core.semantics import BasicSemantics
+from repro.core.units import MIB, us
+from repro.pmo.api import PmoLibrary
+
+
+@pytest.fixture
+def lib():
+    return PmoLibrary(ew_target_us=40.0)
+
+
+class TestTableOneApi:
+    def test_create_open_close(self, lib):
+        pmo = lib.PMO_create("kv", 8 * MIB)
+        assert lib.PMO_open("kv") is pmo
+        lib.PMO_close(pmo)
+
+    def test_attach_returns_handle_with_va(self, lib):
+        pmo = lib.PMO_create("kv", 8 * MIB)
+        handle = lib.attach(pmo, Access.RW)
+        assert handle.base_va_at_attach >= 0
+        oid = lib.pmalloc(pmo, 64)
+        assert handle.direct(oid) == handle.base_va_at_attach + oid.offset
+
+    def test_oid_direct_requires_attach(self, lib):
+        pmo = lib.PMO_create("kv", 8 * MIB)
+        oid = lib.pmalloc(pmo, 64)
+        with pytest.raises(SegmentationFault):
+            lib.oid_direct(oid)
+        lib.attach(pmo, Access.RW)
+        assert lib.oid_direct(oid) > 0
+
+    def test_checked_read_write(self, lib):
+        pmo = lib.PMO_create("kv", 8 * MIB)
+        lib.attach(pmo, Access.RW)
+        oid = lib.pmalloc(pmo, 64)
+        lib.write(oid, b"hello world")
+        lib.tick(100)
+        assert lib.read(oid, 11) == b"hello world"
+
+    def test_write_without_attach_faults(self, lib):
+        pmo = lib.PMO_create("kv", 8 * MIB)
+        oid = lib.pmalloc(pmo, 64)
+        with pytest.raises(SegmentationFault):
+            lib.write(oid, b"x")
+
+    def test_write_with_read_permission_faults(self, lib):
+        pmo = lib.PMO_create("kv", 8 * MIB)
+        lib.attach(pmo, Access.READ)
+        oid = lib.pmalloc(pmo, 64)
+        with pytest.raises(ProtectionFault):
+            lib.write(oid, b"x")
+
+    def test_pfree_via_oid(self, lib):
+        pmo = lib.PMO_create("kv", 8 * MIB)
+        oid = lib.pmalloc(pmo, 64)
+        lib.pfree(oid)
+        assert not pmo.heap.is_allocated(oid.offset - pmo._heap_base)
+
+    def test_u64_roundtrip(self, lib):
+        pmo = lib.PMO_create("kv", 8 * MIB)
+        lib.attach(pmo, Access.RW)
+        oid = lib.pmalloc(pmo, 64)
+        lib.write_u64(oid, 424242)
+        lib.tick()
+        assert lib.read_u64(oid) == 424242
+
+
+class TestThreadsAndWindows:
+    def test_thread_context(self, lib):
+        pmo = lib.PMO_create("kv", 8 * MIB)
+        oid = lib.pmalloc(pmo, 64)
+        with lib.thread(1):
+            lib.attach(pmo, Access.RW)
+            lib.write(oid, b"from t1")
+        # Thread 2 never attached: access denied even though mapped.
+        with lib.thread(2), pytest.raises(ProtectionFault):
+            lib.read(oid, 7)
+
+    def test_detach_after_ew_target_unmaps(self, lib):
+        pmo = lib.PMO_create("kv", 8 * MIB)
+        lib.attach(pmo, Access.RW)
+        lib.tick(us(41))
+        lib.detach(pmo)
+        assert not lib.runtime.space.is_attached(pmo.pmo_id)
+
+    def test_detach_before_ew_target_keeps_mapping(self, lib):
+        pmo = lib.PMO_create("kv", 8 * MIB)
+        lib.attach(pmo, Access.RW)
+        lib.tick(us(1))
+        lib.detach(pmo)
+        assert lib.runtime.space.is_attached(pmo.pmo_id)
+        # ... but this thread's permission is gone.
+        oid = lib.pmalloc(pmo, 8)
+        with pytest.raises(ProtectionFault):
+            lib.read(oid, 8)
+
+    def test_custom_semantics(self):
+        from repro.core.errors import TerpError
+        lib = PmoLibrary(semantics=BasicSemantics())
+        pmo = lib.PMO_create("kv", 8 * MIB)
+        lib.attach(pmo, Access.RW)
+        with pytest.raises(TerpError):
+            lib.attach(pmo, Access.RW)  # basic: no nesting
+
+    def test_tick_backwards_rejected(self, lib):
+        from repro.core.errors import TerpError
+        with pytest.raises(TerpError):
+            lib.tick(-1)
+
+    def test_exposure_recorded(self, lib):
+        pmo = lib.PMO_create("kv", 8 * MIB)
+        lib.attach(pmo, Access.RW)
+        lib.tick(us(50))
+        lib.detach(pmo)
+        lib.runtime.finish(lib.clock_ns)
+        stats = lib.runtime.monitor.ew.stats()
+        assert stats.count == 1
+        assert stats.total_ns == us(50)

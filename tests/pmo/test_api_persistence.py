@@ -1,0 +1,84 @@
+"""PmoLibrary save/load and PmoManager.adopt."""
+
+import pytest
+
+from repro.core.errors import PmoError
+from repro.core.permissions import Access
+from repro.core.units import MIB
+from repro.pmo.api import PmoLibrary
+from repro.workloads.structures import PersistentHashMap
+
+
+class TestLibrarySaveLoad:
+    def test_roundtrip_through_two_libraries(self, tmp_path):
+        """A PMO written by one 'process run' loads in another."""
+        path = tmp_path / "store.pmo"
+        first = PmoLibrary()
+        pmo = first.PMO_create("store", 8 * MIB)
+        first.attach(pmo, Access.RW)
+        table = PersistentHashMap.create(pmo, 32)
+        table.put(b"survives", b"processes")
+        first.save(pmo, path)
+
+        second = PmoLibrary()
+        loaded = second.load(path)
+        assert loaded.name == "store"
+        assert loaded.pmo_id == pmo.pmo_id   # OIDs stay valid
+        reopened = PersistentHashMap.open(loaded)
+        assert reopened.get(b"survives") == b"processes"
+
+    def test_loaded_pmo_attachable_and_usable(self, tmp_path):
+        path = tmp_path / "p.pmo"
+        first = PmoLibrary()
+        pmo = first.PMO_create("p", 8 * MIB)
+        oid = first.pmalloc(pmo, 64)
+        first.save(pmo, path)
+
+        second = PmoLibrary()
+        loaded = second.load(path)
+        second.attach(loaded, Access.RW)
+        second.write(oid, b"written after load")
+        second.tick(10)
+        assert second.read(oid, 18) == b"written after load"
+
+    def test_pfree_works_after_load(self, tmp_path):
+        """The acid test for id preservation: stored OIDs still free."""
+        path = tmp_path / "p.pmo"
+        first = PmoLibrary()
+        pmo = first.PMO_create("p", 8 * MIB)
+        oid = first.pmalloc(pmo, 64)
+        first.save(pmo, path)
+        second = PmoLibrary()
+        loaded = second.load(path)
+        second.pfree(oid)   # must not raise
+        assert not loaded.heap.is_allocated(
+            oid.offset - loaded._heap_base)
+
+    def test_name_collision_rejected(self, tmp_path):
+        path = tmp_path / "p.pmo"
+        lib = PmoLibrary()
+        pmo = lib.PMO_create("p", 8 * MIB)
+        lib.save(pmo, path)
+        with pytest.raises(PmoError):
+            lib.load(path)   # "p" already exists here
+
+    def test_id_collision_rejected(self, tmp_path):
+        path = tmp_path / "p.pmo"
+        first = PmoLibrary()
+        pmo = first.PMO_create("p", 8 * MIB)
+        first.save(pmo, path)
+        second = PmoLibrary()
+        second.PMO_create("other", 8 * MIB)  # takes id 1
+        with pytest.raises(PmoError):
+            second.load(path)
+
+    def test_adopt_advances_id_allocator(self, tmp_path):
+        path = tmp_path / "p.pmo"
+        first = PmoLibrary()
+        for _ in range(3):
+            pmo = first.PMO_create(f"p{_}", 8 * MIB)
+        first.save(pmo, path)   # id 3
+        second = PmoLibrary()
+        second.load(path)
+        fresh = second.PMO_create("fresh", 8 * MIB)
+        assert fresh.pmo_id > 3

@@ -1,0 +1,114 @@
+"""PmoArray: typed views over PMO storage."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import PmoError
+from repro.core.units import MIB
+from repro.pmo.array import PmoArray
+from repro.pmo.pmo import Pmo
+
+
+@pytest.fixture
+def pmo():
+    return Pmo(1, "arr", 16 * MIB)
+
+
+class TestCreation:
+    def test_create_zeroed(self, pmo):
+        arr = PmoArray.create(pmo, (10,))
+        assert (arr.load() == 0).all()
+
+    def test_2d_shape(self, pmo):
+        arr = PmoArray.create(pmo, (4, 8))
+        assert arr.shape == (4, 8)
+        assert arr.size == 32
+
+    def test_3d_rejected(self, pmo):
+        oid = pmo.pmalloc(1024)
+        with pytest.raises(PmoError):
+            PmoArray(pmo, oid, (2, 2, 2))
+
+    def test_dtypes(self, pmo):
+        for dtype in (np.float64, np.int64, np.uint8, np.float32):
+            arr = PmoArray.create(pmo, (16,), dtype=dtype)
+            assert arr.dtype == np.dtype(dtype)
+
+
+class TestRoundtrip:
+    def test_store_load_all(self, pmo):
+        arr = PmoArray.create(pmo, (6, 5))
+        data = np.arange(30, dtype=float).reshape(6, 5)
+        arr.store_all(data)
+        assert (arr.load_all() == data).all()
+
+    def test_partial_store(self, pmo):
+        arr = PmoArray.create(pmo, (20,))
+        arr.store(np.array([1.0, 2.0, 3.0]), start=5)
+        loaded = arr.load()
+        assert (loaded[5:8] == [1.0, 2.0, 3.0]).all()
+        assert (loaded[:5] == 0).all()
+
+    def test_row_access(self, pmo):
+        arr = PmoArray.create(pmo, (3, 4))
+        arr.store_row(1, np.array([9.0, 8.0, 7.0, 6.0]))
+        assert (arr.load_row(1) == [9.0, 8.0, 7.0, 6.0]).all()
+        assert (arr.load_row(0) == 0).all()
+
+    def test_scalar_get_set(self, pmo):
+        arr = PmoArray.create(pmo, (10,))
+        arr.set(3, 42.5)
+        assert arr.get(3) == 42.5
+
+    def test_integer_dtype_roundtrip(self, pmo):
+        arr = PmoArray.create(pmo, (8,), dtype=np.int64)
+        arr.store(np.array([-5, 0, 7, 2 ** 40], dtype=np.int64))
+        assert arr.load(0, 4).tolist() == [-5, 0, 7, 2 ** 40]
+
+
+class TestBounds:
+    def test_load_out_of_range(self, pmo):
+        arr = PmoArray.create(pmo, (10,))
+        with pytest.raises(PmoError):
+            arr.load(8, 5)
+
+    def test_store_shape_mismatch(self, pmo):
+        arr = PmoArray.create(pmo, (2, 2))
+        with pytest.raises(PmoError):
+            arr.store_all(np.zeros((3, 3)))
+
+    def test_row_out_of_range(self, pmo):
+        arr = PmoArray.create(pmo, (3, 4))
+        with pytest.raises(PmoError):
+            arr.load_row(3)
+
+    def test_row_access_on_1d_rejected(self, pmo):
+        arr = PmoArray.create(pmo, (10,))
+        with pytest.raises(PmoError):
+            arr.load_row(0)
+
+    def test_row_length_mismatch(self, pmo):
+        arr = PmoArray.create(pmo, (3, 4))
+        with pytest.raises(PmoError):
+            arr.store_row(0, np.zeros(5))
+
+
+class TestPersistence:
+    def test_data_survives_crash(self):
+        pmo = Pmo(1, "arr", 16 * MIB)
+        arr = PmoArray.create(pmo, (10,))
+        arr.store_all(np.arange(10, dtype=float))
+        oid, shape = arr.oid, arr.shape
+        pmo.crash()
+        pmo.recover()
+        revived = PmoArray(pmo, oid, shape)
+        assert (revived.load_all() == np.arange(10)).all()
+
+    def test_transactional_store(self, pmo):
+        arr = PmoArray.create(pmo, (4,))
+        arr.store_all(np.ones(4))
+        pmo.begin_tx()
+        arr.store_all(np.full(4, 9.0))
+        assert (arr.load_all() == 9.0).all()   # read-your-writes
+        pmo.abort_tx()
+        assert (arr.load_all() == 1.0).all()   # rolled back

@@ -1,0 +1,65 @@
+"""Relocatable persistent pointers (OIDs)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import PmoError
+from repro.pmo.object_id import MAX_OFFSET, MAX_POOL_ID, Oid
+
+
+def test_null_oid():
+    assert Oid.NULL.is_null()
+    assert Oid.NULL.pack() == 0
+    assert not Oid(1, 0).is_null()
+    assert not Oid(0, 1).is_null()
+
+
+def test_pack_layout():
+    oid = Oid(pool_id=2, offset=0x10)
+    assert oid.pack() == (2 << 48) | 0x10
+
+
+def test_unpack_roundtrip():
+    oid = Oid(123, 0xDEADBEEF)
+    assert Oid.unpack(oid.pack()) == oid
+
+
+def test_out_of_range_pool():
+    with pytest.raises(PmoError):
+        Oid(MAX_POOL_ID + 1, 0)
+    with pytest.raises(PmoError):
+        Oid(-1, 0)
+
+
+def test_out_of_range_offset():
+    with pytest.raises(PmoError):
+        Oid(1, MAX_OFFSET + 1)
+
+
+def test_unpack_rejects_non_u64():
+    with pytest.raises(PmoError):
+        Oid.unpack(1 << 64)
+    with pytest.raises(PmoError):
+        Oid.unpack(-1)
+
+
+def test_add_moves_offset_within_pool():
+    oid = Oid(3, 100)
+    assert oid.add(28) == Oid(3, 128)
+
+
+def test_ordering_is_pool_then_offset():
+    assert Oid(1, 999) < Oid(2, 0)
+    assert Oid(1, 5) < Oid(1, 6)
+
+
+def test_repr():
+    assert repr(Oid.NULL) == "Oid.NULL"
+    assert "pool=3" in repr(Oid(3, 16))
+
+
+@given(st.integers(0, MAX_POOL_ID), st.integers(0, MAX_OFFSET))
+def test_pack_unpack_roundtrip_property(pool_id, offset):
+    oid = Oid(pool_id, offset)
+    assert Oid.unpack(oid.pack()) == oid
+    assert 0 <= oid.pack() < (1 << 64)

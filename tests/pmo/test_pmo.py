@@ -1,0 +1,174 @@
+"""The PMO object: storage, layout, pointers, crash simulation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import PmoError
+from repro.core.units import KIB, MIB, PAGE_SIZE
+from repro.pmo.object_id import Oid
+from repro.pmo.pmo import MAGIC, Pmo, SparseBytes
+
+
+class TestSparseBytes:
+    def test_zero_initialized(self):
+        mem = SparseBytes(1 * MIB)
+        assert mem.read(12345, 10) == b"\x00" * 10
+
+    def test_write_read_roundtrip(self):
+        mem = SparseBytes(1 * MIB)
+        mem.write(100, b"payload")
+        assert mem.read(100, 7) == b"payload"
+
+    def test_cross_page_write(self):
+        mem = SparseBytes(1 * MIB)
+        data = bytes(range(200))
+        mem.write(PAGE_SIZE - 100, data)
+        assert mem.read(PAGE_SIZE - 100, 200) == data
+
+    def test_out_of_bounds_rejected(self):
+        mem = SparseBytes(1024)
+        with pytest.raises(PmoError):
+            mem.read(1020, 8)
+        with pytest.raises(PmoError):
+            mem.write(1020, b"12345678")
+        with pytest.raises(PmoError):
+            mem.read(-1, 4)
+
+    def test_u64_helpers(self):
+        mem = SparseBytes(1024)
+        mem.write_u64(8, 0xDEADBEEF12345678)
+        assert mem.read_u64(8) == 0xDEADBEEF12345678
+
+    def test_sparse_residency(self):
+        mem = SparseBytes(1024 * MIB)
+        mem.write(512 * MIB, b"x")
+        assert mem.resident_bytes() == PAGE_SIZE
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 8000), st.binary(min_size=1, max_size=3 * PAGE_SIZE))
+    def test_roundtrip_property(self, offset, data):
+        mem = SparseBytes(32 * PAGE_SIZE)
+        mem.write(offset, data)
+        assert mem.read(offset, len(data)) == data
+
+
+@pytest.fixture
+def pmo():
+    return Pmo(pmo_id=1, name="test", size_bytes=8 * MIB)
+
+
+class TestPmoBasics:
+    def test_header_written(self, pmo):
+        assert pmo.read(0, len(MAGIC)) == MAGIC
+        assert pmo.storage.read_u64(8) == 8 * MIB
+
+    def test_too_small_rejected(self):
+        with pytest.raises(PmoError):
+            Pmo(1, "tiny", 1024)
+
+    def test_pmalloc_returns_oid_in_pool(self, pmo):
+        oid = pmo.pmalloc(128)
+        assert oid.pool_id == 1
+        assert 0 < oid.offset < pmo.size_bytes
+
+    def test_pmalloc_data_roundtrip(self, pmo):
+        oid = pmo.pmalloc(64)
+        pmo.write(oid.offset, b"persistent!")
+        assert pmo.read(oid.offset, 11) == b"persistent!"
+
+    def test_pfree_then_reuse(self, pmo):
+        oid = pmo.pmalloc(64)
+        pmo.pfree(oid)
+        oid2 = pmo.pmalloc(64)
+        assert oid2.offset == oid.offset  # first fit reuses the slot
+
+    def test_pfree_foreign_oid_rejected(self, pmo):
+        with pytest.raises(PmoError):
+            pmo.pfree(Oid(99, 4096))
+
+    def test_root_oid_roundtrip(self, pmo):
+        oid = pmo.pmalloc(64)
+        pmo.root_oid = oid
+        assert pmo.root_oid == oid
+
+    def test_root_oid_defaults_null(self, pmo):
+        assert pmo.root_oid.is_null()
+
+    def test_oid_of_bounds(self, pmo):
+        with pytest.raises(PmoError):
+            pmo.oid_of(pmo.size_bytes)
+
+    def test_subtree_cached_and_correct_level(self, pmo):
+        tree = pmo.subtree
+        assert tree is pmo.subtree
+        assert tree.level == 2  # 8MB needs a level-2 subtree
+
+
+class TestPmoTransactions:
+    def test_transactional_write_applies_on_commit(self, pmo):
+        oid = pmo.pmalloc(64)
+        pmo.begin_tx()
+        pmo.write(oid.offset, b"txdata")
+        pmo.commit_tx()
+        assert pmo.read(oid.offset, 6) == b"txdata"
+
+    def test_read_your_writes_inside_tx(self, pmo):
+        oid = pmo.pmalloc(64)
+        pmo.begin_tx()
+        pmo.write(oid.offset, b"pending")
+        assert pmo.read(oid.offset, 7) == b"pending"
+        pmo.commit_tx()
+
+    def test_abort_discards(self, pmo):
+        oid = pmo.pmalloc(64)
+        pmo.write(oid.offset, b"original")
+        pmo.begin_tx()
+        pmo.write(oid.offset, b"scribble")
+        pmo.abort_tx()
+        assert pmo.read(oid.offset, 8) == b"original"
+
+    def test_u64_write_respects_tx(self, pmo):
+        oid = pmo.pmalloc(64)
+        pmo.begin_tx()
+        pmo.write_u64(oid.offset, 777)
+        assert pmo.read_u64(oid.offset) == 777  # read-your-writes
+        pmo.abort_tx()
+        assert pmo.read_u64(oid.offset) == 0
+
+
+class TestCrashRecovery:
+    def test_crash_recover_preserves_committed_data(self):
+        pmo = Pmo(1, "crashy", 8 * MIB)
+        oid = pmo.pmalloc(64)
+        pmo.begin_tx()
+        pmo.write(oid.offset, b"durable")
+        pmo.commit_tx()
+        pmo.crash()
+        pmo.recover()
+        assert pmo.read(oid.offset, 7) == b"durable"
+        assert pmo.heap.is_allocated(oid.offset - pmo._heap_base)
+
+    def test_crash_loses_open_tx(self):
+        pmo = Pmo(1, "crashy", 8 * MIB)
+        oid = pmo.pmalloc(64)
+        pmo.begin_tx()
+        pmo.write(oid.offset, b"gone")
+        pmo.crash()
+        pmo.recover()
+        assert pmo.read(oid.offset, 4) == b"\x00" * 4
+
+    def test_recover_validates_magic(self):
+        pmo = Pmo(1, "corrupt", 8 * MIB)
+        pmo.storage.write(0, b"XXXXXXXX")
+        pmo.crash()
+        with pytest.raises(PmoError):
+            pmo.recover()
+
+    def test_allocations_usable_after_recovery(self):
+        pmo = Pmo(1, "alloc", 8 * MIB)
+        pmo.pmalloc(64)
+        pmo.crash()
+        pmo.recover()
+        oid = pmo.pmalloc(128)
+        pmo.write(oid.offset, b"new")
+        assert pmo.read(oid.offset, 3) == b"new"

@@ -1,0 +1,114 @@
+"""PMO namespace / lifecycle (PMO_create, PMO_open, PMO_close)."""
+
+import pytest
+
+from repro.core.errors import PmoError
+from repro.core.permissions import Access
+from repro.core.units import MIB
+from repro.pmo.pool import mode_allows, PmoManager
+
+
+@pytest.fixture
+def mgr():
+    return PmoManager()
+
+
+class TestModeBits:
+    def test_owner_rw(self):
+        assert mode_allows(0o600, is_owner=True, requested=Access.RW)
+        assert not mode_allows(0o600, is_owner=False, requested=Access.READ)
+
+    def test_world_readable(self):
+        assert mode_allows(0o644, is_owner=False, requested=Access.READ)
+        assert not mode_allows(0o644, is_owner=False, requested=Access.WRITE)
+
+    def test_read_only_owner(self):
+        assert mode_allows(0o400, is_owner=True, requested=Access.READ)
+        assert not mode_allows(0o400, is_owner=True, requested=Access.WRITE)
+
+
+class TestLifecycle:
+    def test_create_assigns_increasing_ids_from_one(self, mgr):
+        a = mgr.create("a", 4 * MIB)
+        b = mgr.create("b", 4 * MIB)
+        assert a.pmo_id == 1 and b.pmo_id == 2  # id 0 reserved for NULL
+
+    def test_duplicate_name_rejected(self, mgr):
+        mgr.create("a", 4 * MIB)
+        with pytest.raises(PmoError):
+            mgr.create("a", 4 * MIB)
+
+    def test_open_by_name(self, mgr):
+        created = mgr.create("kv", 4 * MIB)
+        opened = mgr.open("kv")
+        assert opened is created
+
+    def test_open_missing_rejected(self, mgr):
+        with pytest.raises(PmoError):
+            mgr.open("ghost")
+
+    def test_open_checks_mode(self, mgr):
+        mgr.create("private", 4 * MIB, owner="alice", mode=0o600)
+        with pytest.raises(PmoError):
+            mgr.open("private", user="bob", requested=Access.READ)
+        assert mgr.open("private", user="alice") is not None
+
+    def test_world_readable_open(self, mgr):
+        mgr.create("shared", 4 * MIB, owner="alice", mode=0o644)
+        pmo = mgr.open("shared", user="bob", requested=Access.READ)
+        assert pmo.name == "shared"
+        with pytest.raises(PmoError):
+            mgr.open("shared", user="bob", requested=Access.RW)
+
+    def test_close_and_destroy(self, mgr):
+        pmo = mgr.create("t", 4 * MIB)
+        with pytest.raises(PmoError):
+            mgr.destroy("t")  # still open
+        mgr.close(pmo)
+        mgr.destroy("t")
+        assert not mgr.exists("t")
+
+    def test_close_unopened_rejected(self, mgr):
+        pmo = mgr.create("t", 4 * MIB)
+        mgr.close(pmo)
+        with pytest.raises(PmoError):
+            mgr.close(pmo)
+
+    def test_destroy_missing_rejected(self, mgr):
+        with pytest.raises(PmoError):
+            mgr.destroy("ghost")
+
+    def test_get_by_id(self, mgr):
+        pmo = mgr.create("t", 4 * MIB)
+        assert mgr.get(pmo.pmo_id) is pmo
+        with pytest.raises(PmoError):
+            mgr.get(99)
+
+    def test_open_count_tracks_references(self, mgr):
+        pmo = mgr.create("t", 4 * MIB)
+        mgr.open("t")
+        assert mgr.open_count(pmo) == 2
+        mgr.close(pmo)
+        mgr.close(pmo)
+        assert mgr.open_count(pmo) == 0
+
+
+class TestReboot:
+    def test_data_survives_reboot(self, mgr):
+        pmo = mgr.create("persist", 4 * MIB)
+        oid = pmo.pmalloc(64)
+        pmo.write(oid.offset, b"survivor")
+        mgr.simulate_reboot()
+        reopened = mgr.open("persist")
+        assert reopened.read(oid.offset, 8) == b"survivor"
+
+    def test_reboot_closes_all_references(self, mgr):
+        pmo = mgr.create("t", 4 * MIB)
+        mgr.simulate_reboot()
+        assert mgr.open_count(pmo) == 0
+
+    def test_namespace_survives_reboot(self, mgr):
+        mgr.create("a", 4 * MIB)
+        mgr.create("b", 4 * MIB)
+        mgr.simulate_reboot()
+        assert mgr.exists("a") and mgr.exists("b")

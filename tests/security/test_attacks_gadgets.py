@@ -1,0 +1,146 @@
+"""Data-only attack case study and the gadget census."""
+
+import pytest
+
+from repro.security.attacks import (
+    AttackConfig, AttackOutcome, compare_protections, DataOnlyAttack,
+    Protection, VictimList)
+from repro.security.gadgets import (
+    AttackCapability, census_from_runs, GadgetCensus, GadgetRelation,
+    scenario_table)
+from repro.security.threat_model import (
+    Assumption, AttackClass, DEFAULT_THREAT_MODEL, PmoState)
+from repro.core.units import MIB
+from repro.pmo.pmo import Pmo
+
+
+class TestThreatModel:
+    def test_detached_blocks_everything(self):
+        for attack in AttackClass:
+            assert DEFAULT_THREAT_MODEL.protects_against(
+                attack, PmoState.DETACHED)
+
+    def test_spectre_not_blocked_when_attached(self):
+        assert not DEFAULT_THREAT_MODEL.protects_against(
+            AttackClass.SPECTRE, PmoState.ATTACHED_NO_PERMISSION)
+
+    def test_permission_state_blocks_data_only(self):
+        assert DEFAULT_THREAT_MODEL.protects_against(
+            AttackClass.HEAP_OVERFLOW, PmoState.ATTACHED_NO_PERMISSION)
+
+    def test_attached_with_permission_is_probabilistic(self):
+        assert not DEFAULT_THREAT_MODEL.protects_against(
+            AttackClass.HEAP_OVERFLOW,
+            PmoState.ATTACHED_WITH_PERMISSION)
+
+    def test_assumptions_enumerated(self):
+        assert Assumption.TRUSTED_OS in DEFAULT_THREAT_MODEL.assumptions
+
+
+class TestVictimList:
+    def test_list_structure(self):
+        pmo = Pmo(1, "v", 4 * MIB)
+        victim = VictimList(pmo, 8)
+        assert victim.props() == [100 + i for i in range(8)]
+        assert pmo.root_oid == victim.nodes[-1]
+
+
+class TestDataOnlyAttack:
+    def test_unprotected_attack_succeeds(self):
+        config = AttackConfig(Protection.NONE, max_rounds=50_000)
+        outcome = DataOnlyAttack(config, n_nodes=8, seed=1).run()
+        assert outcome.succeeded
+
+    def test_unprotected_attack_corrupts_data(self):
+        config = AttackConfig(Protection.NONE, max_rounds=50_000)
+        attack = DataOnlyAttack(config, n_nodes=4, seed=1)
+        attack.run()
+        # Every node's prop was incremented by the attacker's value.
+        assert attack.victim.props() == [100 + i + 7777 for i in range(4)]
+
+    def test_terp_blocks_attack_within_budget(self):
+        config = AttackConfig(Protection.TERP, max_rounds=30_000)
+        outcome = DataOnlyAttack(config, n_nodes=8, seed=1).run()
+        assert not outcome.succeeded
+        assert outcome.faults > 0   # detectable permission faults
+
+    def test_terp_harder_than_merr(self):
+        merr = DataOnlyAttack(AttackConfig(Protection.MERR,
+                                           max_rounds=30_000),
+                              n_nodes=8, seed=1).run()
+        terp = DataOnlyAttack(AttackConfig(Protection.TERP,
+                                           max_rounds=30_000),
+                              n_nodes=8, seed=1).run()
+        assert terp.progress <= merr.progress
+
+    def test_randomization_forces_reprobing(self):
+        config = AttackConfig(Protection.MERR, max_rounds=50_000)
+        outcome = DataOnlyAttack(config, n_nodes=8, seed=1).run()
+        assert outcome.stale_addresses > 0
+
+    def test_interactive_attack_impossible_under_merr_and_terp(self):
+        """Table VI: network RTT (ms) >> EW (40us): by the time a
+        probe's answer arrives, the PMO has been re-randomized, so
+        interactive attacks never learn a usable address."""
+        for protection in (Protection.MERR, Protection.TERP):
+            config = AttackConfig(protection=protection,
+                                  interactive=True,
+                                  max_rounds=20_000)
+            outcome = DataOnlyAttack(config, n_nodes=6, seed=3).run()
+            assert outcome.corrupted_nodes == 0
+            assert outcome.reprobes == 0
+
+    def test_interactive_attack_still_works_unprotected(self):
+        """Without randomization there is no epoch to go stale."""
+        config = AttackConfig(Protection.NONE, interactive=True,
+                              max_rounds=50_000)
+        outcome = DataOnlyAttack(config, n_nodes=6, seed=3).run()
+        assert outcome.succeeded
+
+    def test_compare_protections_shape(self):
+        results = compare_protections(n_nodes=6, max_rounds=20_000,
+                                      seed=2)
+        assert set(results) == {"none", "merr", "terp"}
+        assert results["none"].succeeded
+        assert results["terp"].progress <= results["none"].progress
+
+
+class TestGadgetCensus:
+    def _census(self, merr_er, terp_ter):
+        return GadgetCensus("X", merr_armed_percent=merr_er,
+                            terp_armed_percent=terp_ter)
+
+    def test_disarmed_complements_armed(self):
+        census = self._census(24.5, 3.4)
+        assert census.merr_disarmed_percent == pytest.approx(75.5)
+        assert census.terp_disarmed_percent == pytest.approx(96.6)
+
+    def test_improvement_factor(self):
+        census = self._census(24.5, 3.4)
+        assert census.improvement_factor == pytest.approx(7.2, rel=0.01)
+
+    def test_census_from_runs_uses_er_and_ter(self):
+        class FakeRun:
+            def __init__(self, er, ter):
+                self.er_percent = er
+                self.ter_percent = ter
+        census = census_from_runs(
+            "S", {"a": FakeRun(20.0, 99.0), "b": FakeRun(30.0, 99.0)},
+            {"a": FakeRun(99.0, 3.0), "b": FakeRun(99.0, 5.0)})
+        assert census.merr_armed_percent == pytest.approx(25.0)
+        assert census.terp_armed_percent == pytest.approx(4.0)
+
+    def test_scenario_table_covers_grid(self):
+        census = self._census(24.5, 3.4)
+        rows = scenario_table(census, census)
+        assert len(rows) == 6
+        relations = {r.relation for r in rows}
+        capabilities = {r.capability for r in rows}
+        assert relations == set(GadgetRelation)
+        assert capabilities == set(AttackCapability)
+
+    def test_scenario_quantitative_mentions_disarm_rate(self):
+        census = self._census(24.5, 3.4)
+        rows = scenario_table(census, census)
+        quantified = [r for r in rows if r.quantitative]
+        assert any("96.6" in r.quantitative for r in quantified)

@@ -1,0 +1,96 @@
+"""Dead-time tracking and the Figure 8 distribution."""
+
+import numpy as np
+import pytest
+
+from repro.security.dead_time import (
+    DeadTimeDistribution, DeadTimeTracker, FIG8_BIN_EDGES_US,
+    ObjectLifetime)
+from repro.workloads.heaplayers import PROFILES, run_profile
+
+
+class TestTracker:
+    def test_lifecycle(self):
+        t = DeadTimeTracker()
+        t.on_alloc(1, 100)
+        t.on_write(1, 500)
+        t.on_write(1, 2_000)
+        t.on_free(1, 10_000)
+        (obj,) = t.completed
+        assert obj.dead_time_ns == 8_000
+
+    def test_dead_time_without_writes_counts_from_alloc(self):
+        t = DeadTimeTracker()
+        t.on_alloc(1, 100)
+        t.on_free(1, 400)
+        assert t.completed[0].dead_time_ns == 300
+
+    def test_unknown_object_ignored(self):
+        t = DeadTimeTracker()
+        t.on_write(99, 10)
+        t.on_free(99, 20)
+        assert t.completed == []
+
+    def test_dead_times_us(self):
+        t = DeadTimeTracker()
+        t.on_alloc(1, 0)
+        t.on_free(1, 2_000)
+        assert t.dead_times_us() == pytest.approx([2.0])
+
+
+class TestDistribution:
+    def test_requires_samples(self):
+        with pytest.raises(ValueError):
+            DeadTimeDistribution.from_dead_times([])
+
+    def test_percentages_sum_to_100(self):
+        d = DeadTimeDistribution.from_dead_times([0.1, 1.5, 3.0, 100.0])
+        assert sum(d.percentages) == pytest.approx(100.0)
+
+    def test_binning(self):
+        d = DeadTimeDistribution.from_dead_times([0.1, 0.3, 5.0])
+        # 0.1 -> bin (0, 0.2]; 0.3 -> (0.2, 0.4]; 5.0 -> (4, 8].
+        assert d.percentages[0] == pytest.approx(100 / 3)
+        assert d.percentages[1] == pytest.approx(100 / 3)
+
+    def test_fraction_at_least_excludes_below_threshold(self):
+        d = DeadTimeDistribution.from_dead_times([1.5, 3.0, 5.0, 10.0])
+        assert d.fraction_at_least(2.0) == pytest.approx(0.75)
+
+    def test_fraction_at_least_monotone(self):
+        d = DeadTimeDistribution.from_dead_times(
+            list(np.geomspace(0.1, 1000, 200)))
+        f2 = d.fraction_at_least(2.0)
+        f8 = d.fraction_at_least(8.0)
+        assert f8 <= f2
+
+    def test_render_contains_bins(self):
+        d = DeadTimeDistribution.from_dead_times([1.0, 10.0])
+        text = d.render()
+        assert "us" in text and "%" in text
+
+
+class TestHeapLayersProfiles:
+    def test_thirteen_profiles(self):
+        # Eight SPEC + five Heap Layers, as in the paper.
+        assert len(PROFILES) == 13
+        assert sum(1 for p in PROFILES if p.name.startswith("hl-")) == 5
+
+    def test_run_profile_completes_all_objects(self):
+        tracker = run_profile(PROFILES[0], n_objects=200, seed=1)
+        assert len(tracker.completed) == 200
+
+    def test_profile_is_deterministic(self):
+        a = run_profile(PROFILES[0], n_objects=100, seed=1)
+        b = run_profile(PROFILES[0], n_objects=100, seed=1)
+        assert list(a.dead_times_us()) == list(b.dead_times_us())
+
+    def test_dead_times_positive(self):
+        tracker = run_profile(PROFILES[3], n_objects=150, seed=2)
+        assert (tracker.dead_times_us() > 0).all()
+
+    def test_headline_95_percent(self):
+        """The Figure 8 claim: ~95% of dead times are >= 2us."""
+        from repro.eval.experiments import fig8
+        result = fig8.run(n_objects_per_profile=400)
+        assert 0.90 <= result.surface_reduction_at_2us <= 0.99

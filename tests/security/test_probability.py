@@ -1,0 +1,79 @@
+"""Table V's analytic success-probability model."""
+
+import pytest
+
+from repro.core.units import GIB, MIB
+from repro.security.probability import (
+    AttackScenario, merr_success_percent, placement_entropy_bits,
+    reduction_factor, simulate_probing, terp_success_percent)
+
+
+class TestEntropy:
+    def test_1gb_pmo_has_18_bits(self):
+        # 256TB region / 1GB slots = 2^18 placements.
+        assert placement_entropy_bits(GIB) == 18
+
+    def test_smaller_pmo_more_entropy(self):
+        assert placement_entropy_bits(2 * MIB) > \
+            placement_entropy_bits(GIB)
+
+    def test_degenerate_region(self):
+        assert placement_entropy_bits(GIB, region_size=GIB) == 0
+
+
+class TestAnalyticModel:
+    def test_merr_paper_value_1us(self):
+        # Table V: 0.015% at x = 1us.
+        assert merr_success_percent(1.0) == pytest.approx(0.01526,
+                                                          rel=0.01)
+
+    def test_merr_paper_value_01us(self):
+        assert merr_success_percent(0.1) == pytest.approx(0.1526,
+                                                          rel=0.01)
+
+    def test_terp_paper_value_1us(self):
+        # Table V: 0.0005% at x = 1us.
+        assert terp_success_percent(1.0) == pytest.approx(0.000509,
+                                                          rel=0.01)
+
+    def test_terp_30x_reduction(self):
+        assert reduction_factor(1.0) == pytest.approx(30.0, rel=0.02)
+
+    def test_attack_slower_than_tew_impossible(self):
+        # "each attack time must be smaller than the TEW ... as it
+        # needs the permission to the PMO during the attack".
+        assert terp_success_percent(5.0, tew_us=2.0) is None
+
+    def test_probability_scales_with_window(self):
+        small = AttackScenario(1.0, window_us=40.0)
+        large = AttackScenario(1.0, window_us=160.0)
+        assert large.success_probability == pytest.approx(
+            4 * small.success_probability)
+
+    def test_probability_capped_at_one(self):
+        degenerate = AttackScenario(0.001, window_us=1e9,
+                                    entropy_bits=4)
+        assert degenerate.success_probability == 1.0
+
+    def test_entropy_halves_probability_per_bit(self):
+        a = AttackScenario(1.0, entropy_bits=10)
+        b = AttackScenario(1.0, entropy_bits=11)
+        assert a.success_probability == pytest.approx(
+            2 * b.success_probability)
+
+
+class TestMonteCarlo:
+    def test_matches_analytic_model(self):
+        analytic = merr_success_percent(1.0)
+        simulated = simulate_probing(1.0, windows=400_000, seed=7)
+        assert simulated == pytest.approx(analytic, rel=0.25)
+
+    def test_zero_probes(self):
+        assert simulate_probing(100.0, window_us=40.0,
+                                access_fraction=0.01) == 0.0
+
+    def test_access_fraction_shrinks_success(self):
+        full = simulate_probing(1.0, windows=300_000, seed=3)
+        slice_ = simulate_probing(1.0, access_fraction=1 / 30,
+                                  windows=300_000, seed=3)
+        assert slice_ < full

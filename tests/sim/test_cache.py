@@ -1,0 +1,110 @@
+"""Data-cache hierarchy (Table II caches and memory latencies)."""
+
+import pytest
+
+from repro.arch.params import DEFAULT_PARAMS
+from repro.sim.cache import (
+    Cache, CacheHierarchy, expected_access_cycles, LINE_SIZE)
+
+
+class TestCache:
+    def test_miss_then_hit(self):
+        c = Cache(32 * 1024, 8)
+        assert not c.lookup(0x1000)
+        c.fill(0x1000)
+        assert c.lookup(0x1000)
+
+    def test_same_line_shares_entry(self):
+        c = Cache(32 * 1024, 8)
+        c.fill(0x1000)
+        assert c.lookup(0x1000 + LINE_SIZE - 1)
+        assert not c.lookup(0x1000 + LINE_SIZE)
+
+    def test_lru_eviction(self):
+        c = Cache(2 * LINE_SIZE, 2)   # one set, two ways
+        c.fill(0 * LINE_SIZE)
+        c.fill(1 * LINE_SIZE)
+        evicted = c.fill(2 * LINE_SIZE)
+        assert evicted == 0
+        assert not c.lookup(0)
+        assert c.lookup(1 * LINE_SIZE)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            Cache(3 * LINE_SIZE, 2)
+
+    def test_invalidate_all(self):
+        c = Cache(32 * 1024, 8)
+        for i in range(10):
+            c.fill(i * LINE_SIZE)
+        assert c.invalidate_all() == 10
+        assert c.occupancy() == 0
+
+    def test_stats(self):
+        c = Cache(32 * 1024, 8)
+        c.lookup(0)
+        c.fill(0)
+        c.lookup(0)
+        assert c.stats.misses == 1
+        assert c.stats.hits == 1
+        assert c.stats.hit_rate == 0.5
+
+
+class TestHierarchy:
+    def test_cold_nvm_access(self):
+        h = CacheHierarchy()
+        p = DEFAULT_PARAMS
+        assert h.access(0x1000, nvm=True) == \
+            p.l1d_latency + p.l2_latency + p.nvm_latency
+
+    def test_cold_dram_access_cheaper(self):
+        h = CacheHierarchy()
+        nvm = h.access(0x10000, nvm=True)
+        dram = h.access(0x20000, nvm=False)
+        assert nvm - dram == p_nvm_minus_dram()
+
+    def test_warm_access_is_l1(self):
+        h = CacheHierarchy()
+        h.access(0x1000)
+        assert h.access(0x1000) == DEFAULT_PARAMS.l1d_latency
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = CacheHierarchy()
+        h.access(0)
+        # Thrash L1 set 0 (stride = num_sets lines).
+        stride = h.l1.num_sets * LINE_SIZE
+        for i in range(1, 10):
+            h.access(i * stride)
+        latency = h.access(0)
+        assert latency == DEFAULT_PARAMS.l1d_latency + \
+            DEFAULT_PARAMS.l2_latency
+
+
+def p_nvm_minus_dram():
+    return DEFAULT_PARAMS.nvm_latency - DEFAULT_PARAMS.dram_latency
+
+
+class TestExpectedCycles:
+    def test_l1_resident(self):
+        assert expected_access_cycles(16 * 1024) == \
+            DEFAULT_PARAMS.l1d_latency
+
+    def test_grows_with_working_set(self):
+        small = expected_access_cycles(64 * 1024)
+        large = expected_access_cycles(64 * 1024 * 1024)
+        assert large > small
+
+    def test_nvm_penalty(self):
+        nvm = expected_access_cycles(1 << 30, nvm=True)
+        dram = expected_access_cycles(1 << 30, nvm=False)
+        assert nvm > dram
+
+    def test_invalid_working_set(self):
+        with pytest.raises(ValueError):
+            expected_access_cycles(0)
+
+    def test_workload_base_cycles_justified(self):
+        """The workload specs use ~8 cycles/access: that corresponds
+        to an L2-resident hot set (~1MB) on this hierarchy."""
+        value = expected_access_cycles(1024 * 1024)
+        assert 5.0 <= value <= 15.0

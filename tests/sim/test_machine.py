@@ -1,0 +1,175 @@
+"""The discrete-event machine end to end."""
+
+import pytest
+
+from repro.arch.cond_engine import TerpArchEngine
+from repro.core.semantics import BasicSemantics, EwConsciousSemantics
+from repro.core.units import MIB, us
+from repro.sim.events import Burst, Compute, RegionEnd, TxBegin, TxEnd
+from repro.sim.machine import Machine
+from repro.sim.policy import (
+    CompilerTerpPolicy, ManualMerrPolicy, NoProtectionPolicy)
+
+PMOS = {"kv": 8 * MIB}
+EW = us(40)
+TEW = us(2)
+
+
+def tx_workload(n_txs, tx_ns=us(10), pmo="kv", bursts_per_tx=2):
+    """A WHISPER-shaped loop: each transaction is a short cluster of
+    PMO bursts (one code region) followed by PMO-free computation."""
+    for _ in range(n_txs):
+        yield TxBegin.of(pmo)
+        for _ in range(bursts_per_tx):
+            yield Burst(pmo, n_accesses=50, unique_pages=4)
+            yield Compute(us(1) // 2)
+        yield RegionEnd()
+        yield Compute(tx_ns - bursts_per_tx * (us(1) // 2))
+        yield TxEnd()
+
+
+def make_machine(engine, policy_factory, **kw):
+    return Machine(engine=engine, policy_factory=policy_factory,
+                   pmo_sizes=dict(PMOS), **kw)
+
+
+class TestBaselineRun:
+    def test_unprotected_run_has_zero_overhead(self):
+        m = make_machine(EwConsciousSemantics(EW), NoProtectionPolicy)
+        # No policy ops means no attaches; bursts would fault.  Use a
+        # compute-only workload for the pure-baseline check.
+        result = m.run({0: [Compute(us(100))]})
+        assert result.wall_ns == us(100)
+        assert result.baseline_ns == us(100)
+        assert result.overhead_percent == 0.0
+
+
+class TestMerrRun:
+    def run_mm(self, n_txs=200):
+        m = make_machine(BasicSemantics(blocking=True),
+                         lambda: ManualMerrPolicy(EW),
+                         randomize_on_reattach=True)
+        return m.run({0: tx_workload(n_txs)})
+
+    def test_completes_with_positive_overhead(self):
+        result = self.run_mm()
+        assert result.wall_ns > result.baseline_ns
+        assert 0 < result.overhead_percent < 100
+
+    def test_exposure_windows_near_target_but_unstable(self):
+        result = self.run_mm()
+        (pmo,) = result.per_pmo
+        assert 0 < pmo.ew_avg_us <= 50
+        # MERR detaches at tx boundaries: max exceeds avg noticeably.
+        assert pmo.ew_max_us > pmo.ew_avg_us
+
+    def test_all_ops_are_syscalls(self):
+        result = self.run_mm()
+        c = result.counters
+        assert c.silent_attaches == 0
+        assert c.silent_detaches == 0
+        assert c.attach_syscalls > 0
+        assert c.attach_syscalls == c.detach_syscalls
+
+    def test_randomization_charged_on_reattach(self):
+        result = self.run_mm()
+        assert result.breakdown.cycles["rand"] > 0
+
+
+class TestTerpSoftwareRun:  # TM
+    def run_tm(self, n_txs=200):
+        m = make_machine(EwConsciousSemantics(EW),
+                         lambda: CompilerTerpPolicy(TEW),
+                         silent_ops_are_syscalls=True)
+        return m.run({0: tx_workload(n_txs)})
+
+    def test_tm_overhead_exceeds_mm(self):
+        mm = TestMerrRun().run_mm()
+        tm = self.run_tm()
+        assert tm.overhead_percent > mm.overhead_percent
+
+    def test_tew_bounded_near_target(self):
+        result = self.run_tm()
+        (pmo,) = result.per_pmo
+        assert pmo.tew_avg_us <= 3.0
+        assert pmo.ter_percent < pmo.er_percent
+
+
+class TestTerpArchRun:  # TT
+    def run_tt(self, n_txs=200, **engine_kw):
+        m = make_machine(TerpArchEngine(EW, **engine_kw),
+                         lambda: CompilerTerpPolicy(TEW))
+        return m.run({0: tx_workload(n_txs)})
+
+    def test_tt_cheaper_than_tm_and_mm(self):
+        tt = self.run_tt()
+        tm = TestTerpSoftwareRun().run_tm()
+        mm = TestMerrRun().run_mm()
+        assert tt.overhead_percent < tm.overhead_percent
+        assert tt.overhead_percent < mm.overhead_percent
+
+    def test_most_calls_silent(self):
+        result = self.run_tt()
+        assert result.silent_percent > 80.0
+
+    def test_ew_stable_near_target(self):
+        result = self.run_tt()
+        (pmo,) = result.per_pmo
+        assert pmo.ew_avg_us == pytest.approx(40.0, rel=0.25)
+        assert pmo.ew_max_us <= 45.0
+
+    def test_tew_bounded(self):
+        result = self.run_tt()
+        (pmo,) = result.per_pmo
+        assert 0 < pmo.tew_avg_us <= 3.0
+
+    def test_window_combining_reduces_syscalls(self):
+        with_cb = self.run_tt(window_combining=True)
+        without_cb = self.run_tt(window_combining=False)
+        assert with_cb.counters.attach_syscalls < \
+            without_cb.counters.attach_syscalls
+        assert with_cb.overhead_percent <= without_cb.overhead_percent
+
+    def test_arch_cases_populated(self):
+        result = self.run_tt()
+        assert result.arch_cases is not None
+        assert result.arch_cases.case3_silent_attach > 0
+
+
+class TestMultiThread:
+    def test_basic_semantics_blocks_threads(self):
+        """Figure 11: under Basic semantics threads serialize on the
+        PMO and blocked time shows up as overhead."""
+        m = make_machine(BasicSemantics(blocking=True),
+                         lambda: ManualMerrPolicy(EW))
+        threads = {tid: tx_workload(50) for tid in range(4)}
+        result = m.run(threads)
+        assert result.blocked_ns > 0
+
+    def test_arch_engine_no_blocking(self):
+        m = make_machine(TerpArchEngine(EW),
+                         lambda: CompilerTerpPolicy(TEW))
+        threads = {tid: tx_workload(50) for tid in range(4)}
+        result = m.run(threads)
+        assert result.blocked_ns == 0
+        assert result.num_threads == 4
+
+    def test_multithread_overhead_basic_exceeds_arch(self):
+        m1 = make_machine(BasicSemantics(blocking=True),
+                          lambda: CompilerTerpPolicy(TEW))
+        basic = m1.run({tid: tx_workload(50) for tid in range(4)})
+        m2 = make_machine(TerpArchEngine(EW),
+                          lambda: CompilerTerpPolicy(TEW))
+        arch = m2.run({tid: tx_workload(50) for tid in range(4)})
+        assert basic.overhead_percent > arch.overhead_percent
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        def run():
+            m = make_machine(TerpArchEngine(EW),
+                             lambda: CompilerTerpPolicy(TEW), seed=7)
+            return m.run({0: tx_workload(100)})
+        a, b = run(), run()
+        assert a.wall_ns == b.wall_ns
+        assert a.counters.attach_syscalls == b.counters.attach_syscalls

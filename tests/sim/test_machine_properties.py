@@ -1,0 +1,95 @@
+"""Property-based tests on the discrete-event machine's accounting."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.cond_engine import TerpArchEngine
+from repro.core.units import MIB, us
+from repro.sim.events import Burst, Compute, RegionEnd, TxBegin, TxEnd
+from repro.sim.machine import Machine
+from repro.sim.policy import CompilerTerpPolicy, ManualMerrPolicy
+from repro.core.semantics import BasicSemantics
+
+
+@st.composite
+def workloads(draw):
+    """A random but well-formed single-PMO transaction stream."""
+    n_txs = draw(st.integers(1, 25))
+    events = []
+    for _ in range(n_txs):
+        events.append(TxBegin.of("p"))
+        for _ in range(draw(st.integers(1, 3))):
+            events.append(Burst("p",
+                                n_accesses=draw(st.integers(1, 80)),
+                                unique_pages=draw(st.integers(1, 8))))
+            events.append(Compute(draw(st.integers(100, 3_000))))
+        events.append(RegionEnd())
+        events.append(Compute(draw(st.integers(0, 80_000))))
+        events.append(TxEnd())
+    return events
+
+
+def run_tt(events, seed=1):
+    machine = Machine(engine=TerpArchEngine(us(40)),
+                      policy_factory=lambda: CompilerTerpPolicy(us(2)),
+                      pmo_sizes={"p": 8 * MIB}, seed=seed)
+    return machine.run({0: iter(events)})
+
+
+class TestAccountingProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(workloads())
+    def test_wall_clock_never_below_baseline(self, events):
+        result = run_tt(events)
+        assert result.wall_ns >= result.baseline_ns
+
+    @settings(max_examples=40, deadline=None)
+    @given(workloads())
+    def test_call_counters_are_consistent(self, events):
+        result = run_tt(events)
+        c = result.counters
+        assert c.errors == 0
+        assert c.faults == 0
+        # Every attach call resolved to exactly one outcome.
+        assert c.attach_calls == c.attach_syscalls + c.silent_attaches
+        assert c.detach_calls >= c.silent_detaches
+        assert c.attach_calls == c.detach_calls  # policy is balanced
+
+    @settings(max_examples=40, deadline=None)
+    @given(workloads())
+    def test_exposure_windows_within_run(self, events):
+        result = run_tt(events)
+        for pmo in result.per_pmo:
+            assert 0 <= pmo.er_percent <= 100.0
+            assert 0 <= pmo.ter_percent <= pmo.er_percent + 1e-9
+            assert pmo.ew_avg_us <= pmo.ew_max_us + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(workloads())
+    def test_ew_target_respected(self, events):
+        """Under the TERP architecture, no exposure window (per
+        location) exceeds the target plus the sweep lag."""
+        result = run_tt(events)
+        for pmo in result.per_pmo:
+            assert pmo.ew_max_us <= 40.0 + 2.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(workloads(), st.integers(1, 5))
+    def test_determinism(self, events, seed):
+        events = list(events)
+        a = run_tt(list(events), seed=seed)
+        b = run_tt(list(events), seed=seed)
+        assert a.wall_ns == b.wall_ns
+        assert a.counters.attach_syscalls == b.counters.attach_syscalls
+
+    @settings(max_examples=25, deadline=None)
+    @given(workloads())
+    def test_merr_policy_balanced_too(self, events):
+        machine = Machine(engine=BasicSemantics(blocking=True),
+                          policy_factory=lambda: ManualMerrPolicy(us(40)),
+                          pmo_sizes={"p": 8 * MIB})
+        result = machine.run({0: iter(events)})
+        c = result.counters
+        assert c.errors == 0
+        assert c.attach_syscalls == c.detach_syscalls
+        assert result.wall_ns >= result.baseline_ns

@@ -1,0 +1,100 @@
+"""Insertion policies: MERR-manual vs TERP-compiler."""
+
+import pytest
+
+from repro.core.units import us
+from repro.sim.events import Burst, Compute, TxBegin, TxEnd
+from repro.sim.policy import (
+    CompilerTerpPolicy, ManualMerrPolicy, NoProtectionPolicy, Op, OpKind)
+
+
+class TestManualMerrPolicy:
+    def test_attach_at_tx_begin(self):
+        p = ManualMerrPolicy(us(40))
+        ops = p.before_event(TxBegin.of("kv"), 0)
+        assert ops == [Op(OpKind.ATTACH, "kv")]
+        assert p.open_pmos() == {"kv"}
+
+    def test_one_pair_per_transaction(self):
+        """The programmer bookends each logical operation."""
+        p = ManualMerrPolicy(us(40))
+        p.before_event(TxBegin.of("kv"), 0)
+        ops = p.before_event(TxEnd(), us(10))
+        assert ops == [Op(OpKind.DETACH, "kv")]
+        assert p.open_pmos() == set()
+        # The next transaction re-attaches.
+        ops = p.before_event(TxBegin.of("kv"), us(11))
+        assert ops == [Op(OpKind.ATTACH, "kv")]
+
+    def test_attach_on_stray_burst(self):
+        p = ManualMerrPolicy(us(40))
+        ops = p.before_event(Burst("kv", 10), 0)
+        assert ops == [Op(OpKind.ATTACH, "kv")]
+
+    def test_at_end_closes_all(self):
+        p = ManualMerrPolicy(us(40))
+        p.before_event(TxBegin.of("a", "b"), 0)
+        ops = p.at_end(us(5))
+        assert {op.pmo for op in ops} == {"a", "b"}
+        assert all(op.kind is OpKind.DETACH for op in ops)
+
+    def test_multi_pmo_tx(self):
+        p = ManualMerrPolicy(us(40))
+        ops = p.before_event(TxBegin.of("a", "b"), 0)
+        assert len(ops) == 2
+
+
+class TestCompilerTerpPolicy:
+    def test_attach_before_first_burst(self):
+        p = CompilerTerpPolicy(us(2))
+        ops = p.before_event(Burst("kv", 10), 0)
+        assert ops == [Op(OpKind.ATTACH, "kv")]
+
+    def test_window_closed_at_tew_target(self):
+        p = CompilerTerpPolicy(us(2))
+        p.before_event(Burst("kv", 10), 0)
+        # Next boundary after >= 2us: detach, then re-attach for the
+        # new burst.
+        ops = p.before_event(Burst("kv", 10), us(3))
+        assert ops == [Op(OpKind.DETACH, "kv"), Op(OpKind.ATTACH, "kv")]
+
+    def test_window_stays_open_below_target(self):
+        p = CompilerTerpPolicy(us(2))
+        p.before_event(Burst("kv", 10), 0)
+        assert p.before_event(Burst("kv", 10), us(1)) == []
+
+    def test_tx_end_closes_windows(self):
+        p = CompilerTerpPolicy(us(2))
+        p.before_event(Burst("kv", 10), 0)
+        ops = p.before_event(TxEnd(), us(1))
+        assert Op(OpKind.DETACH, "kv") in ops
+        assert p.open_pmos() == set()
+
+    def test_compute_boundary_can_close_window(self):
+        p = CompilerTerpPolicy(us(2))
+        p.before_event(Burst("kv", 10), 0)
+        ops = p.before_event(Compute(100), us(5))
+        assert ops == [Op(OpKind.DETACH, "kv")]
+
+    def test_independent_windows_per_pmo(self):
+        p = CompilerTerpPolicy(us(2))
+        p.before_event(Burst("a", 1), 0)
+        p.before_event(Burst("b", 1), us(1))
+        assert p.open_pmos() == {"a", "b"}
+        # At 2.5us only a's window (opened at 0) has expired.
+        ops = p.before_event(Compute(1), us(2) + 500)
+        assert ops == [Op(OpKind.DETACH, "a")]
+
+    def test_at_end(self):
+        p = CompilerTerpPolicy(us(2))
+        p.before_event(Burst("kv", 1), 0)
+        assert p.at_end(us(1)) == [Op(OpKind.DETACH, "kv")]
+
+
+class TestNoProtectionPolicy:
+    def test_emits_nothing(self):
+        p = NoProtectionPolicy()
+        assert p.before_event(TxBegin.of("kv"), 0) == []
+        assert p.before_event(Burst("kv", 5), 0) == []
+        assert p.at_end(10) == []
+        assert p.open_pmos() == set()

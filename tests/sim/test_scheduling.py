@@ -1,0 +1,60 @@
+"""Core-constrained scheduling (threads time-share Table II's cores)."""
+
+import pytest
+
+from repro.arch.cond_engine import TerpArchEngine
+from repro.core.units import MIB, us
+from repro.sim.events import Compute
+from repro.sim.machine import Machine
+from repro.sim.policy import CompilerTerpPolicy, NoProtectionPolicy
+from tests.sim.test_machine import tx_workload
+
+
+def make_machine(num_cores):
+    return Machine(engine=TerpArchEngine(us(40)),
+                   policy_factory=NoProtectionPolicy,
+                   pmo_sizes={"kv": 8 * MIB},
+                   num_cores=num_cores)
+
+
+class TestScheduling:
+    def test_default_core_count_from_table2(self):
+        machine = make_machine(None)
+        assert machine.num_cores == 4
+
+    def test_compute_only_serializes_on_one_core(self):
+        """8 threads of pure compute on 1 core take 8x the time."""
+        machine = make_machine(1)
+        threads = {tid: [Compute(us(100))] for tid in range(8)}
+        result = machine.run(threads)
+        assert result.wall_ns == pytest.approx(8 * us(100), rel=0.01)
+        # The ideal baseline also packs onto one core: no false
+        # overhead from contention alone.
+        assert result.baseline_ns == pytest.approx(8 * us(100),
+                                                   rel=0.01)
+        assert result.overhead_percent == pytest.approx(0.0, abs=1.0)
+
+    def test_enough_cores_run_in_parallel(self):
+        machine = make_machine(8)
+        threads = {tid: [Compute(us(100))] for tid in range(8)}
+        result = machine.run(threads)
+        assert result.wall_ns == pytest.approx(us(100), rel=0.01)
+
+    def test_oversubscription_scales_wall_clock(self):
+        two = make_machine(2).run(
+            {tid: [Compute(us(100))] for tid in range(8)})
+        four = make_machine(4).run(
+            {tid: [Compute(us(100))] for tid in range(8)})
+        assert two.wall_ns > four.wall_ns
+        assert two.wall_ns == pytest.approx(2 * four.wall_ns, rel=0.05)
+
+    def test_protected_oversubscribed_run_is_clean(self):
+        machine = Machine(
+            engine=TerpArchEngine(us(40)),
+            policy_factory=lambda: CompilerTerpPolicy(us(2)),
+            pmo_sizes={"kv": 8 * MIB}, num_cores=2)
+        result = machine.run({tid: tx_workload(30)
+                              for tid in range(6)})
+        assert result.counters.errors == 0
+        assert result.counters.faults == 0
+        assert result.wall_ns >= result.baseline_ns

@@ -1,0 +1,68 @@
+"""RunResult summaries and JSON export."""
+
+import json
+
+import pytest
+
+from repro.arch.params import CostBreakdown
+from repro.core.runtime import RuntimeCounters
+from repro.sim.stats import PmoExposure, RunResult
+
+
+def make_result(**overrides):
+    defaults = dict(
+        wall_ns=1_100_000,
+        baseline_ns=1_000_000,
+        breakdown=CostBreakdown(),
+        counters=RuntimeCounters(attach_calls=100, detach_calls=100,
+                                 attach_syscalls=10, detach_syscalls=10,
+                                 silent_attaches=90, silent_detaches=90),
+        per_pmo=[PmoExposure("p1", 39.0, 40.0, 50.0, 1.0, 4.0),
+                 PmoExposure("p2", 38.0, 41.0, 30.0, 1.5, 3.0)],
+    )
+    defaults.update(overrides)
+    return RunResult(**defaults)
+
+
+class TestRunResult:
+    def test_overhead_percent(self):
+        assert make_result().overhead_percent == pytest.approx(10.0)
+
+    def test_zero_baseline(self):
+        assert make_result(baseline_ns=0).overhead_percent == 0.0
+
+    def test_silent_percent(self):
+        assert make_result().silent_percent == pytest.approx(90.0)
+
+    def test_cond_per_second(self):
+        result = make_result()
+        expected = 200 / (1_100_000 / 1e9)
+        assert result.cond_per_second == pytest.approx(expected)
+
+    def test_pmo_averages(self):
+        result = make_result()
+        assert result.ew_avg_us == pytest.approx(38.5)
+        assert result.ew_max_us == pytest.approx(41.0)  # max, not avg
+        assert result.er_percent == pytest.approx(40.0)
+        assert result.ter_percent == pytest.approx(3.5)
+
+    def test_empty_pmo_list(self):
+        result = make_result(per_pmo=[])
+        assert result.ew_avg_us == 0.0
+        assert result.ew_max_us == 0.0
+
+    def test_breakdown_percent(self):
+        breakdown = CostBreakdown()
+        breakdown.add("attach", 220_000)  # 100_000 ns at 2.2GHz
+        result = make_result(breakdown=breakdown)
+        pct = result.overhead_breakdown_percent()
+        assert pct["attach"] == pytest.approx(10.0, rel=0.01)
+
+    def test_to_dict_is_json_serializable(self):
+        payload = make_result().to_dict()
+        text = json.dumps(payload)
+        back = json.loads(text)
+        assert back["overhead_percent"] == pytest.approx(10.0)
+        assert back["counters"]["attach_calls"] == 100
+        assert len(back["per_pmo"]) == 2
+        assert back["per_pmo"][0]["ew_avg_us"] == 39.0

@@ -1,0 +1,129 @@
+"""Persistent crit-bit tree."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import PmoError
+from repro.core.units import MIB
+from repro.pmo.pmo import Pmo
+from repro.workloads.structures import CritBitTree
+
+
+@pytest.fixture
+def pmo():
+    return Pmo(1, "ct", 16 * MIB)
+
+
+@pytest.fixture
+def tree(pmo):
+    return CritBitTree.create(pmo)
+
+
+class TestBasics:
+    def test_insert_get(self, tree):
+        tree.insert(b"hello", b"world")
+        assert tree.get(b"hello") == b"world"
+
+    def test_missing(self, tree):
+        assert tree.get(b"nope") is None
+        tree.insert(b"a", b"1")
+        assert tree.get(b"b") is None
+        assert tree.get(b"aa") is None
+
+    def test_update_same_size(self, tree):
+        tree.insert(b"k", b"aaa")
+        tree.insert(b"k", b"bbb")
+        assert tree.get(b"k") == b"bbb"
+        assert len(tree) == 1
+
+    def test_update_different_size(self, tree):
+        tree.insert(b"k", b"aaa")
+        tree.insert(b"k", b"a-longer-value")
+        assert tree.get(b"k") == b"a-longer-value"
+        assert len(tree) == 1
+
+    def test_prefix_keys(self, tree):
+        """Crit-bit's classic edge case: one key a prefix of another."""
+        tree.insert(b"a", b"1")
+        tree.insert(b"ab", b"2")
+        tree.insert(b"abc", b"3")
+        assert tree.get(b"a") == b"1"
+        assert tree.get(b"ab") == b"2"
+        assert tree.get(b"abc") == b"3"
+
+    def test_items_sorted(self, tree):
+        import random
+        rng = random.Random(7)
+        keys = [f"{rng.randrange(10**6):06d}".encode() for _ in range(100)]
+        keys = list(dict.fromkeys(keys))
+        for key in keys:
+            tree.insert(key, b"v")
+        assert [k for k, _ in tree.items()] == sorted(keys)
+
+    def test_delete(self, tree):
+        tree.insert(b"a", b"1")
+        tree.insert(b"b", b"2")
+        assert tree.delete(b"a")
+        assert tree.get(b"a") is None
+        assert tree.get(b"b") == b"2"
+        assert not tree.delete(b"a")
+        assert len(tree) == 1
+
+    def test_delete_to_empty_and_reinsert(self, tree):
+        tree.insert(b"x", b"1")
+        assert tree.delete(b"x")
+        assert len(tree) == 0
+        tree.insert(b"y", b"2")
+        assert tree.get(b"y") == b"2"
+
+    def test_delete_frees_nodes(self, pmo, tree):
+        tree.insert(b"a", b"1")
+        tree.insert(b"b", b"2")
+        frees_before = pmo.heap.free_count
+        tree.delete(b"a")
+        assert pmo.heap.free_count >= frees_before + 1
+
+
+class TestPersistence:
+    def test_reopen_after_reboot(self):
+        pmo = Pmo(1, "ct", 16 * MIB)
+        tree = CritBitTree.create(pmo)
+        tree.insert(b"persist", b"me")
+        tree.insert(b"and", b"me too")
+        pmo.crash()
+        pmo.recover()
+        reopened = CritBitTree.open(pmo)
+        assert reopened.get(b"persist") == b"me"
+        assert len(reopened) == 2
+
+    def test_open_requires_root(self):
+        with pytest.raises(PmoError):
+            CritBitTree.open(Pmo(1, "e", 16 * MIB))
+
+
+class TestCritBitProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.dictionaries(st.binary(min_size=1, max_size=12),
+                           st.binary(min_size=1, max_size=24), max_size=40))
+    def test_matches_dict(self, model):
+        pmo = Pmo(1, "ct", 16 * MIB)
+        tree = CritBitTree.create(pmo)
+        for key, value in model.items():
+            tree.insert(key, value)
+        assert len(tree) == len(model)
+        for key, value in model.items():
+            assert tree.get(key) == value
+        assert [k for k, _ in tree.items()] == sorted(model)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.binary(min_size=1, max_size=8), min_size=1,
+                    max_size=30, unique=True))
+    def test_insert_then_delete_all(self, keys):
+        pmo = Pmo(1, "ct", 16 * MIB)
+        tree = CritBitTree.create(pmo)
+        for key in keys:
+            tree.insert(key, b"v" + key)
+        for key in keys:
+            assert tree.delete(key), key
+        assert len(tree) == 0
+        assert list(tree.items()) == []

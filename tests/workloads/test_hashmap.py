@@ -1,0 +1,165 @@
+"""Persistent hash map."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import PmoError
+from repro.core.units import MIB
+from repro.pmo.pmo import Pmo
+from repro.workloads.structures import CountingPmo, PersistentHashMap
+
+
+@pytest.fixture
+def pmo():
+    return Pmo(1, "hm", 16 * MIB)
+
+
+@pytest.fixture
+def hm(pmo):
+    return PersistentHashMap.create(pmo, nbuckets=64)
+
+
+class TestBasics:
+    def test_put_get(self, hm):
+        hm.put(b"key", b"value")
+        assert hm.get(b"key") == b"value"
+
+    def test_missing_key(self, hm):
+        assert hm.get(b"nope") is None
+        assert b"nope" not in hm
+
+    def test_update_same_size_in_place(self, hm):
+        hm.put(b"k", b"aaaa")
+        hm.put(b"k", b"bbbb")
+        assert hm.get(b"k") == b"bbbb"
+        assert len(hm) == 1
+
+    def test_update_different_size(self, hm):
+        hm.put(b"k", b"short")
+        hm.put(b"k", b"a much longer value than before")
+        assert hm.get(b"k") == b"a much longer value than before"
+        assert len(hm) == 1
+
+    def test_delete(self, hm):
+        hm.put(b"k", b"v")
+        assert hm.delete(b"k")
+        assert hm.get(b"k") is None
+        assert not hm.delete(b"k")
+        assert len(hm) == 0
+
+    def test_collisions_chain(self, hm):
+        # 64 buckets, 500 keys: heavy chaining by construction.
+        for i in range(500):
+            hm.put(f"key-{i}".encode(), f"val-{i}".encode())
+        assert len(hm) == 500
+        for i in range(0, 500, 37):
+            assert hm.get(f"key-{i}".encode()) == f"val-{i}".encode()
+
+    def test_items_iterates_all(self, hm):
+        expected = {}
+        for i in range(50):
+            key, value = f"k{i}".encode(), f"v{i}".encode()
+            hm.put(key, value)
+            expected[key] = value
+        assert dict(hm.items()) == expected
+
+    def test_delete_middle_of_chain(self, hm):
+        for i in range(100):
+            hm.put(f"k{i}".encode(), b"x")
+        assert hm.delete(b"k50")
+        assert hm.get(b"k50") is None
+        assert hm.get(b"k49") == b"x"
+        assert hm.get(b"k51") == b"x"
+
+
+class TestPersistence:
+    def test_reopen_after_reboot(self):
+        pmo = Pmo(1, "hm", 16 * MIB)
+        hm = PersistentHashMap.create(pmo, 64)
+        hm.put(b"persist", b"me")
+        pmo.crash()
+        pmo.recover()
+        reopened = PersistentHashMap.open(pmo)
+        assert reopened.get(b"persist") == b"me"
+        assert len(reopened) == 1
+
+    def test_crash_mid_put_leaves_map_consistent(self):
+        pmo = Pmo(1, "hm", 16 * MIB)
+        hm = PersistentHashMap.create(pmo, 64)
+        hm.put(b"safe", b"old")
+        # Start a put but crash before commit: simulate by opening a
+        # transaction, writing, and crashing.
+        pmo.begin_tx()
+        pmo.write(pmo.root_oid.offset + 16, b"\xff" * 8)  # scribble size
+        pmo.crash()
+        pmo.recover()
+        reopened = PersistentHashMap.open(pmo)
+        assert reopened.get(b"safe") == b"old"
+        assert len(reopened) == 1
+
+    def test_open_requires_root(self):
+        pmo = Pmo(1, "empty", 16 * MIB)
+        with pytest.raises(PmoError):
+            PersistentHashMap.open(pmo)
+
+    def test_open_validates_magic(self):
+        pmo = Pmo(1, "junk", 16 * MIB)
+        oid = pmo.pmalloc(64)
+        pmo.root_oid = oid
+        with pytest.raises(PmoError):
+            PersistentHashMap.open(pmo)
+
+
+class TestCounting:
+    def test_counting_pmo_measures_accesses(self):
+        pmo = CountingPmo(Pmo(1, "hm", 16 * MIB))
+        hm = PersistentHashMap.create(pmo, 64)
+        pmo.counts.reset()
+        hm.put(b"key", b"value")
+        put_counts = pmo.counts.reset()
+        hm.get(b"key")
+        get_counts = pmo.counts.reset()
+        assert put_counts.writes > 0
+        assert put_counts.reads > 0
+        assert get_counts.writes == 0
+        assert get_counts.reads >= 2  # bucket head + entry
+
+    def test_write_fraction(self):
+        pmo = CountingPmo(Pmo(1, "hm", 16 * MIB))
+        hm = PersistentHashMap.create(pmo, 64)
+        pmo.counts.reset()
+        hm.get(b"missing")
+        assert pmo.counts.write_fraction == 0.0
+
+
+class TestHashMapProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.dictionaries(st.binary(min_size=1, max_size=24),
+                           st.binary(max_size=48), max_size=40))
+    def test_matches_dict_semantics(self, model):
+        pmo = Pmo(1, "hm", 16 * MIB)
+        hm = PersistentHashMap.create(pmo, 16)
+        for key, value in model.items():
+            hm.put(key, value)
+        assert len(hm) == len(model)
+        for key, value in model.items():
+            assert hm.get(key) == value
+        assert dict(hm.items()) == model
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.tuples(st.sampled_from([b"a", b"b", b"c", b"d"]),
+                              st.binary(max_size=16)),
+                    max_size=30))
+    def test_interleaved_put_delete(self, ops):
+        pmo = Pmo(1, "hm", 16 * MIB)
+        hm = PersistentHashMap.create(pmo, 4)
+        model = {}
+        for key, value in ops:
+            if value == b"":   # treat empty as delete
+                assert hm.delete(key) == (key in model)
+                model.pop(key, None)
+            else:
+                hm.put(key, value)
+                model[key] = value
+            assert len(hm) == len(model)
+        assert dict(hm.items()) == model

@@ -1,0 +1,162 @@
+"""Versioned KV store (Echo) and TPC-C tables."""
+
+import pytest
+
+from repro.core.errors import PmoError
+from repro.core.units import MIB
+from repro.pmo.pmo import Pmo
+from repro.workloads.structures import TpccDatabase, VersionedKvStore
+from repro.workloads.structures.tpcc import TpccConfig
+
+
+@pytest.fixture
+def kv():
+    return VersionedKvStore.create(Pmo(1, "kv", 16 * MIB), 64)
+
+
+class TestVersionedKv:
+    def test_put_get_newest(self, kv):
+        kv.put(b"k", b"v1")
+        kv.put(b"k", b"v2")
+        assert kv.get(b"k") == b"v2"
+
+    def test_missing(self, kv):
+        assert kv.get(b"ghost") is None
+        assert kv.get_version(b"ghost", 1) is None
+
+    def test_version_history(self, kv):
+        v1 = kv.put(b"k", b"one")
+        v2 = kv.put(b"k", b"two")
+        assert kv.get_version(b"k", v1) == b"one"
+        assert kv.get_version(b"k", v2) == b"two"
+        assert kv.versions(b"k") == [v2, v1]
+
+    def test_versions_monotonic_across_keys(self, kv):
+        v1 = kv.put(b"a", b"x")
+        v2 = kv.put(b"b", b"y")
+        assert v2 > v1
+
+    def test_gc_keeps_newest(self, kv):
+        for i in range(5):
+            kv.put(b"k", f"v{i}".encode())
+        freed = kv.gc(b"k", keep=2)
+        assert freed == 3
+        assert len(kv.versions(b"k")) == 2
+        assert kv.get(b"k") == b"v4"
+
+    def test_gc_noop_when_few_versions(self, kv):
+        kv.put(b"k", b"only")
+        assert kv.gc(b"k", keep=3) == 0
+
+    def test_gc_requires_keep(self, kv):
+        with pytest.raises(PmoError):
+            kv.gc(b"k", keep=0)
+
+    def test_delete_frees_chain(self, kv):
+        pmo = kv.pmo
+        for i in range(3):
+            kv.put(b"k", f"v{i}".encode())
+        frees_before = pmo.heap.free_count
+        assert kv.delete(b"k")
+        # Three version nodes freed, plus the index entry itself.
+        assert pmo.heap.free_count >= frees_before + 3
+        assert kv.get(b"k") is None
+
+    def test_reserved_keys_rejected(self, kv):
+        with pytest.raises(PmoError):
+            kv.put(b"\x00secret", b"v")
+
+    def test_keys_hides_internals(self, kv):
+        kv.put(b"visible", b"v")
+        assert set(kv.keys()) == {b"visible"}
+
+    def test_reopen_after_reboot(self):
+        pmo = Pmo(1, "kv", 16 * MIB)
+        kv = VersionedKvStore.create(pmo, 64)
+        v1 = kv.put(b"k", b"v1")
+        pmo.crash()
+        pmo.recover()
+        reopened = VersionedKvStore.open(pmo)
+        assert reopened.get(b"k") == b"v1"
+        v2 = reopened.put(b"k", b"v2")
+        assert v2 > v1   # version counter survived
+
+
+@pytest.fixture
+def db():
+    return TpccDatabase.create(Pmo(1, "tpcc", 64 * MIB))
+
+
+class TestTpcc:
+    def test_new_order_updates_balance(self, db):
+        order_id = db.new_order(0, 1, 2, item_count=3, amount_cents=999)
+        assert db.customer_balance(0, 1, 2) == 999
+        w, d, c, items, amount = db.order(order_id)
+        assert (w, d, c, items, amount) == (0, 1, 2, 3, 999)
+
+    def test_order_ids_increase(self, db):
+        a = db.new_order(0, 0, 0, 1, 100)
+        b = db.new_order(0, 0, 1, 1, 100)
+        assert b == a + 1
+        assert db.order_count == 2
+
+    def test_payment_moves_money(self, db):
+        db.new_order(1, 2, 3, 1, 5000)
+        db.payment(1, 2, 3, 1500)
+        assert db.customer_balance(1, 2, 3) == 3500
+        assert db.warehouse_ytd(1) == 1500
+        assert db.district_ytd(1, 2) == 1500
+
+    def test_payment_insufficient_balance_aborts(self, db):
+        db.new_order(0, 0, 0, 1, 100)
+        with pytest.raises(PmoError):
+            db.payment(0, 0, 0, 5000)
+        # The aborted transaction left no partial state.
+        assert db.customer_balance(0, 0, 0) == 100
+        assert db.warehouse_ytd(0) == 0
+
+    def test_bad_indices_rejected(self, db):
+        with pytest.raises(PmoError):
+            db.new_order(99, 0, 0, 1, 100)
+        with pytest.raises(PmoError):
+            db.payment(0, 99, 0, 100)
+
+    def test_money_conservation_invariant(self, db):
+        """Sum of balances equals sum of orders minus payments."""
+        import random
+        rng = random.Random(3)
+        placed = paid = 0
+        for _ in range(100):
+            w = rng.randrange(2)
+            d = rng.randrange(10)
+            c = rng.randrange(30)
+            amount = rng.randrange(1, 1000)
+            if rng.random() < 0.7:
+                db.new_order(w, d, c, 1, amount)
+                placed += amount
+            else:
+                try:
+                    db.payment(w, d, c, amount)
+                    paid += amount
+                except PmoError:
+                    pass  # insufficient balance: aborted cleanly
+        assert db.total_balance() == placed - paid
+
+    def test_reopen_after_reboot(self):
+        pmo = Pmo(1, "tpcc", 64 * MIB)
+        db = TpccDatabase.create(pmo, TpccConfig(warehouses=1))
+        db.new_order(0, 1, 2, 1, 777)
+        pmo.crash()
+        pmo.recover()
+        reopened = TpccDatabase.open(pmo)
+        assert reopened.customer_balance(0, 1, 2) == 777
+        assert reopened.order_count == 1
+        assert reopened.config.warehouses == 1
+
+    def test_order_table_full(self):
+        pmo = Pmo(1, "tpcc", 64 * MIB)
+        db = TpccDatabase.create(pmo, TpccConfig(max_orders=2))
+        db.new_order(0, 0, 0, 1, 1)
+        db.new_order(0, 0, 0, 1, 1)
+        with pytest.raises(PmoError):
+            db.new_order(0, 0, 0, 1, 1)
