@@ -1,0 +1,137 @@
+"""terpd closed-loop throughput: the service layer's cost of entry.
+
+A fleet of closed-loop client sessions hammers one daemon with the
+attach/write/psync/detach cycle of a persistent-memory tenant, plus a
+deliberately slow tenant that sits on its exposure window until the
+sweeper force-detaches it.  The bench emits a JSON metrics report —
+requests/s, p50/p99 request latency, forced-detach count — which is
+the service-layer analogue of the paper's overhead tables: how much
+the protection envelope costs when the PMO library lives behind a
+daemon instead of in-process.
+
+Run (benchmark tier)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_service_throughput.py -q -s
+"""
+
+import json
+import threading
+import time
+
+from benchmarks.conftest import run_once
+from repro.core.units import MIB
+from repro.service.client import RemoteError, SyncTerpClient
+from repro.service.protocol import encode_bytes
+from repro.service.server import ServiceThread, TerpService
+
+#: Closed-loop load: each session issues its next cycle as soon as the
+#: previous one completes — throughput is offered load at saturation.
+SESSIONS = 4
+ROUNDS = 150
+PIPELINE_DEPTH = 8
+
+#: The slow tenant's nap comfortably exceeds the session EW budget, so
+#: every one of its attaches is closed by the sweeper, not by it.
+SESSION_EW_MS = 25
+SLOW_ROUNDS = 4
+
+
+def _tenant_loop(port: int, idx: int, oids, errors) -> None:
+    """One well-behaved tenant: attach, pipelined writes, psync,
+    read-back, detach — ROUNDS times, as fast as the daemon allows."""
+    try:
+        with SyncTerpClient(port=port, user=f"tenant{idx}") as client:
+            payload = bytes([0x40 + idx]) * 64
+            packed = oids[idx].pack()
+            for _ in range(ROUNDS):
+                client.attach("bench")
+                client.pipeline([("write", {"oid": packed,
+                                            "data": encode_bytes(payload)})
+                                 for _ in range(PIPELINE_DEPTH)])
+                client.psync("bench")
+                assert client.read(oids[idx], 64) == payload
+                client.detach("bench")
+    except Exception as exc:            # noqa: BLE001 - report, don't hang
+        errors.append((idx, exc))
+
+
+def _slow_tenant(port: int, errors, forced) -> None:
+    """The tenant the sweeper exists for: attaches and goes to sleep
+    past its EW budget, every round."""
+    try:
+        with SyncTerpClient(port=port, user="sloth") as client:
+            for _ in range(SLOW_ROUNDS):
+                client.attach("bench")
+                deadline = time.monotonic() + 10 * SESSION_EW_MS / 1000
+                before = client.forced_detaches
+                while client.forced_detaches == before:
+                    if time.monotonic() > deadline:
+                        raise AssertionError("sweeper never fired")
+                    time.sleep(0.005)
+                    client.ping()       # forced-detach events ride replies
+                # Its own detach raced the sweeper and lost: silent.
+                result = client.detach("bench")
+                assert result["outcome"] == "silent"
+            forced.append(client.forced_detaches)
+    except Exception as exc:            # noqa: BLE001
+        errors.append(("sloth", exc))
+
+
+def _drive(port: int):
+    errors, forced = [], []
+    with SyncTerpClient(port=port, user="root") as setup:
+        setup.create("bench", 4 * MIB, mode=0o666)
+        oids = [setup.pmalloc("bench", 64) for _ in range(SESSIONS)]
+    workers = [threading.Thread(target=_tenant_loop,
+                                args=(port, i, oids, errors))
+               for i in range(SESSIONS)]
+    workers.append(threading.Thread(target=_slow_tenant,
+                                    args=(port, errors, forced)))
+    t0 = time.monotonic()
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join(120.0)
+    elapsed = time.monotonic() - t0
+    assert errors == [], errors
+    return elapsed, forced
+
+
+def test_service_throughput(benchmark):
+    service = TerpService(port=0,
+                          session_ew_ns=SESSION_EW_MS * 1_000_000,
+                          sweep_period_ns=5_000_000)
+    with ServiceThread(service) as svc:
+        elapsed, forced = run_once(benchmark, _drive, svc.bound_port)
+        with SyncTerpClient(port=svc.bound_port, user="root") as probe:
+            report = probe.metrics()
+
+    stats = report["global"]
+    requests = stats["requests"]
+    report_out = {
+        "sessions": SESSIONS + 1,
+        "rounds": ROUNDS,
+        "pipeline_depth": PIPELINE_DEPTH,
+        "elapsed_s": round(elapsed, 3),
+        "requests": requests,
+        "requests_per_s": round(requests / elapsed, 1),
+        "request_p50_us": stats["request_latency"]["p50_us"],
+        "request_p99_us": stats["request_latency"]["p99_us"],
+        "sweep_p99_us": stats["sweep_latency"]["p99_us"],
+        "forced_detaches": stats["forced_detaches"],
+        "attaches": stats["attaches"],
+        "detaches": stats["detaches"],
+    }
+    print()
+    print(json.dumps(report_out, indent=2))
+
+    # Shape assertions: the numbers must be coherent, not just present.
+    cycle_requests = SESSIONS * ROUNDS * (PIPELINE_DEPTH + 4)
+    assert requests >= cycle_requests
+    assert report_out["requests_per_s"] > 0
+    assert stats["request_latency"]["p99_us"] >= \
+        stats["request_latency"]["p50_us"]
+    # The sweeper closed every one of the slow tenant's windows.
+    assert forced and forced[0] >= SLOW_ROUNDS
+    assert stats["forced_detaches"] >= SLOW_ROUNDS
+    assert stats["sweep_runs"] > 0

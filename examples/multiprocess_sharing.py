@@ -1,71 +1,96 @@
 #!/usr/bin/env python3
-"""Two processes share a PMO — the poset's upper tiers in action.
+"""Multiple clients share a PMO through a terpd daemon.
 
-A server process owns a world-readable PMO; a client process of a
-different user attaches it read-only.  Each process gets its own
-randomized placement (learning one address reveals nothing about the
-other process), OS mode bits gate who may attach at all, and exposure
-is tracked per process.  A third, unauthorized user is refused by the
-OS before TERP is even consulted — the user-permission level of the
-TERP poset sitting above process attach/detach.
+The earlier version of this example faked processes inside one
+interpreter; now the real service layer does the work.  A terpd
+daemon owns the PMO library; each client connects over a socket and
+gets its own session — its own TERP entity, its own grants, its own
+exposure budget.  The story is unchanged:
+
+* alice publishes a world-readable PMO and writes to it;
+* bob (a different user, different connection) attaches read-only and
+  reads alice's committed data — his write attempt faults;
+* mallory is refused by mode bits before TERP is consulted;
+* a tenant that sits on its attach past the session EW budget is
+  force-detached by the daemon's sweeper — crashed or malicious
+  clients cannot hold a window open.
+
+Run::
+
+    PYTHONPATH=src python examples/multiprocess_sharing.py
 """
 
-from repro.core.errors import PmoError
-from repro.core.multiprocess import SharedPmoSystem
-from repro.core.permissions import Access
-from repro.core.semantics import Outcome
-from repro.core.units import MIB, us
+import time
+
+from repro.core.units import MIB
+from repro.service.client import RemoteError, SyncTerpClient
+from repro.service.server import ServiceThread, TerpService
 
 
 def main() -> None:
-    system = SharedPmoSystem(seed=11)
-    server = system.create_process("server", user="alice")
-    client = system.create_process("client", user="bob")
-    intruder = system.create_process("intruder", user="mallory")
+    service = TerpService(port=0,
+                          session_ew_ns=50_000_000,    # 50ms budget
+                          sweep_period_ns=10_000_000,  # 10ms sweeps
+                          seed=11)
+    with ServiceThread(service) as svc:
+        port = svc.bound_port
+        print(f"terpd listening on 127.0.0.1:{port}\n")
 
-    pmo = system.create_pmo(server, "market-data", 16 * MIB,
-                            mode=0o644)
-    print("created 'market-data' (owner alice, mode 644)\n")
+        with SyncTerpClient(port=port, user="alice") as alice, \
+                SyncTerpClient(port=port, user="bob") as bob, \
+                SyncTerpClient(port=port, user="mallory") as mallory:
+            alice.create("market-data", 16 * MIB, mode=0o644)
+            print("alice created 'market-data' (mode 644)")
 
-    system.attach(server, "market-data", Access.RW)
-    system.attach(client, "market-data", Access.READ, now_ns=us(1))
-    va_server = system.base_va(server, "market-data")
-    va_client = system.base_va(client, "market-data")
-    print(f"server maps it at  {va_server:#016x}")
-    print(f"client maps it at  {va_client:#016x}  "
-          "(independent randomization)")
+            result = alice.attach("market-data")
+            print(f"alice attach -> {result['outcome']} "
+                  f"at {result['base_va']:#016x}")
+            oid = alice.pmalloc("market-data", 64)
+            alice.tx_begin("market-data")
+            alice.write(oid, b"price: 42.17")
+            flushed = alice.psync("market-data")
+            print(f"alice wrote and psync'd ({flushed} pending write)")
 
-    oid = pmo.pmalloc(64)
-    pmo.write(oid.offset, b"price: 42.17")
-    print(f"server writes, client reads: "
-          f"{pmo.read(oid.offset, 12).decode()}")
-    ok = system.access(client, "market-data", Access.READ,
-                       now_ns=us(2))
-    denied = system.access(client, "market-data", Access.WRITE,
-                           now_ns=us(3))
-    print(f"client read  -> {ok.outcome.value}")
-    print(f"client write -> {denied.outcome.value} "
-          "(mode 644: read-only for others)")
+            # bob's attach lowers to a grant on the daemon's single
+            # mapping (EW-conscious case 2): shared, not remapped.
+            result = bob.attach("market-data", access="r")
+            print(f"bob attach(r) -> {result['outcome']} "
+                  "(grant on the existing window)")
+            print(f"bob reads: {bob.read(oid, 12).decode()}")
+            try:
+                bob.write(oid, b"hijack")
+            except RemoteError as exc:
+                print(f"bob write -> {exc.kind}: refused "
+                      "(mode 644: read-only for others)")
 
-    try:
-        system.attach(intruder, "market-data", Access.RW,
-                      now_ns=us(4))
-    except PmoError as exc:
-        print(f"mallory attach(RW) -> refused by the OS: {exc}")
+            try:
+                mallory.attach("market-data")
+            except RemoteError as exc:
+                print(f"mallory attach -> {exc.kind}: refused by the "
+                      "OS before TERP is consulted")
 
-    # Server detaches after its EW target: unmapped for the server,
-    # while the client's window is untouched.
-    system.detach(server, "market-data", now_ns=us(41))
-    print(f"\nafter server detach (41us): "
-          f"server mapping = {system.base_va(server, 'market-data')}, "
-          f"client mapping = "
-          f"{system.base_va(client, 'market-data'):#016x}")
+            bob.detach("market-data")
+            alice.detach("market-data")
 
-    rates = system.exposure_by_process("market-data",
-                                       total_ns=us(100))
-    print("\nper-process exposure of 'market-data' over 100us:")
-    for name, rate in rates.items():
-        print(f"  {name:9s} {100 * rate:5.1f}%")
+        # A tenant that never detaches: the sweeper closes its window
+        # once the 50ms session budget elapses.
+        print("\nsloth attaches and goes to sleep...")
+        with SyncTerpClient(port=port, user="sloth") as sloth:
+            sloth.attach("market-data", access="r")
+            while sloth.forced_detaches == 0:
+                time.sleep(0.01)
+                sloth.ping()            # events ride on responses
+            event = sloth.events[-1]
+            print(f"sweeper force-detached '{event['pmo']}' "
+                  f"({event['reason']})")
+
+        with SyncTerpClient(port=port, user="root") as probe:
+            stats = probe.metrics()["global"]
+            print(f"\ndaemon totals: {stats['requests']} requests, "
+                  f"{stats['attaches']} attaches, "
+                  f"{stats['forced_detaches']} forced detach(es), "
+                  f"p99 request latency "
+                  f"{stats['request_latency']['p99_us']:.1f}us")
 
 
 if __name__ == "__main__":

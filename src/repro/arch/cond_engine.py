@@ -31,7 +31,7 @@ partial-combining case of Figure 6c).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Callable, Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.core.permissions import Access
 from repro.core.semantics import (
@@ -65,6 +65,7 @@ class TerpArchEngine(SemanticsEngine):
 
     def __init__(self, ew_target_ns: int, *,
                  capacity: int = 32,
+                 domain_capacity: Optional[int] = None,
                  sweep_period_ns: int = TIMER_TICK_NS,
                  window_combining: bool = True) -> None:
         super().__init__()
@@ -72,6 +73,14 @@ class TerpArchEngine(SemanticsEngine):
             raise ValueError("ew_target_ns must be positive")
         self.ew_target_ns = ew_target_ns
         self.sweep_period_ns = sweep_period_ns
+        #: How many PMOs the protection-domain substrate can keep
+        #: mapped at once (MPK: 15 assignable keys).  Every CB entry is
+        #: a mapped PMO, so when this bound is hit, a delayed-detach
+        #: entry is evicted exactly as when the buffer itself fills —
+        #: otherwise the MAP action would fail below the engine with
+        #: the key pool exhausted.  ``None`` removes the bound (the
+        #: simulator's pure-engine tests).
+        self.domain_capacity = domain_capacity
         #: window_combining=False ablates the delayed-detach path
         #: (cases 3 and 6): the last holder's detach always unmaps.
         #: This is Figure 11's "+Cond" configuration — conditional
@@ -81,9 +90,25 @@ class TerpArchEngine(SemanticsEngine):
         self.cases = CaseCounters()
         self._thread_open: Dict[Tuple[int, Hashable], bool] = {}
         self._last_sweep_ns = 0
+        #: attach pairs closed by a forced detach (sweep or eviction)
+        #: rather than by the owning thread; a later detach from that
+        #: thread is a defined silent no-op instead of an error.
+        self._forced_pairs: Set[Tuple[int, Hashable]] = set()
+        #: observer hook for the service layer: called as
+        #: ``on_forced_detach(pmo_id, (thread_id, ...))`` whenever the
+        #: sweeper or the eviction path force-detaches a PMO, with the
+        #: threads whose open pairs were closed by force.
+        self.on_forced_detach: Optional[
+            Callable[[Hashable, Tuple[int, ...]], None]] = None
 
     def thread_has_open_pair(self, thread_id: int, pmo_id: Hashable) -> bool:
         return self._thread_open.get((thread_id, pmo_id), False)
+
+    def _at_capacity(self) -> bool:
+        if self.cb.is_full():
+            return True
+        return self.domain_capacity is not None and \
+            len(self.cb) >= self.domain_capacity
 
     # -- CONDAT ------------------------------------------------------------
 
@@ -93,15 +118,21 @@ class TerpArchEngine(SemanticsEngine):
         if self._thread_open.get(key):
             return Decision(Outcome.ERROR,
                             reason="overlapping attach within a thread")
+        # A fresh attach supersedes any forced-detach marker: from here
+        # on the pair is live again and its detach must be real.
+        self._forced_pairs.discard(key)
         entry = self.cb.lookup(pmo_id)
         st = self._state(pmo_id)
         if entry is None:
-            # Case 1: first attach.  Make room if the buffer is full.
-            if self.cb.is_full():
+            # Case 1: first attach.  Make room if the buffer — or the
+            # protection-domain pool underneath it — is full.
+            if self._at_capacity():
                 victim = self.cb.evictable()
                 if victim is None:
                     return Decision(Outcome.ERROR,
-                                    reason="circular buffer full, no "
+                                    reason="attach capacity reached "
+                                           "(circular buffer full or no "
+                                           "free protection domain), no "
                                            "evictable entry")
                 self._force_detach(victim.pmo_id)
                 # The victim's real detach is folded into this attach's
@@ -152,6 +183,15 @@ class TerpArchEngine(SemanticsEngine):
                now_ns: int) -> Decision:
         key = (thread_id, pmo_id)
         if not self._thread_open.get(key):
+            if key in self._forced_pairs:
+                # The sweeper (or an eviction) already closed this pair
+                # while the thread was still inside it — the thread's
+                # own detach raced the forced one and lost.  That is a
+                # defined outcome, not a semantics violation.
+                self._forced_pairs.discard(key)
+                return Decision(Outcome.SILENT,
+                                reason="pair already closed by forced "
+                                       "detach")
             return Decision(Outcome.ERROR,
                             reason="detach without a matching attach "
                                    "in this thread")
@@ -248,3 +288,10 @@ class TerpArchEngine(SemanticsEngine):
         st = self._state(pmo_id)
         st.mapped = False
         st.holders.clear()
+        closed = tuple(t for (t, p), is_open in self._thread_open.items()
+                       if p == pmo_id and is_open)
+        for thread_id in closed:
+            self._thread_open[(thread_id, pmo_id)] = False
+            self._forced_pairs.add((thread_id, pmo_id))
+        if self.on_forced_detach is not None:
+            self.on_forced_detach(pmo_id, closed)

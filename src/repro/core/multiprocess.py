@@ -109,13 +109,8 @@ class SharedPmoSystem:
                                       requested, now_ns)
 
     def _pmo(self, name: str) -> Pmo:
-        if not self.manager.exists(name):
-            raise PmoError(f"no PMO named {name!r}")
         # Resolution without an open-count bump.
-        for pmo in self.manager.all_pmos():
-            if pmo.name == name:
-                return pmo
-        raise PmoError(f"no PMO named {name!r}")
+        return self.manager.lookup(name)
 
     # -- cross-process queries ------------------------------------------------
 

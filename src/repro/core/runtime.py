@@ -193,45 +193,100 @@ class TerpRuntime:
                      decision)
         return decision
 
+    # -- entity lifecycle (remote sessions) ---------------------------------
+
+    def entity_holdings(self, thread_id: int) -> list:
+        """PMO ids on which the entity currently holds access."""
+        return self.semantics.entity_pmos(thread_id)
+
+    def release_entity(self, thread_id: int, now_ns: int) -> list:
+        """Detach everything ``thread_id`` still holds.
+
+        The cleanup path for a remote session that disconnected or
+        crashed mid-attach: each held PMO gets a detach on the entity's
+        behalf, flowing through the normal semantics engine so counters,
+        exposure windows, and window combining stay correct.  Errors on
+        individual PMOs are collected, not raised — a dying session must
+        never leave the rest of its holdings dangling.
+
+        Returns ``[(pmo_id, Decision | TerpError), ...]``.
+        """
+        released = []
+        for pmo_id in self.entity_holdings(thread_id):
+            pmo = self.manager.get(pmo_id)
+            try:
+                released.append((pmo_id,
+                                 self.detach(thread_id, pmo, now_ns)))
+            except TerpError as exc:
+                released.append((pmo_id, exc))
+        return released
+
+    def sweep(self, now_ns: int) -> list:
+        """Run the engine's periodic sweep and apply its decisions.
+
+        Only meaningful for engines with a hardware sweeper (the arch
+        engine); for pure software engines this is a no-op.  This is
+        the surface a service daemon drives from a background task.
+        """
+        sweep = getattr(self.semantics, "sweep", None)
+        if sweep is None:
+            return []
+        when = max(now_ns, self._last_now)
+        self._advance(when)
+        decisions = sweep(now_ns)
+        for decision in decisions:
+            pmo = self.manager.get(decision.actions[0].pmo_id)
+            self._apply(decision, pmo, when)
+        return decisions
+
     # -- applying decisions ----------------------------------------------------
 
     def _apply(self, decision: Decision, pmo, now_ns: int) -> None:
         for action in decision.actions:
+            # A decision may bundle actions on several PMOs (eviction:
+            # UNMAP of the victim folded into the new PMO's attach) —
+            # resolve each action's own target.
+            if action.pmo_id == pmo.pmo_id:
+                target = pmo
+            else:
+                target = self.manager.get(action.pmo_id)
             if action.kind is ActionKind.MAP:
-                self.space.attach(pmo, Access.RW)
-                self.monitor.pmo_mapped(pmo.pmo_id, now_ns)
+                self.space.attach(target, Access.RW)
+                self.monitor.pmo_mapped(target.pmo_id, now_ns)
                 self._note(EventKind.MAP, now_ns, action)
             elif action.kind is ActionKind.UNMAP:
-                self.space.detach(pmo.pmo_id)
-                self.monitor.pmo_unmapped(pmo.pmo_id, now_ns)
+                self.space.detach(target.pmo_id)
+                self.monitor.pmo_unmapped(target.pmo_id, now_ns)
                 self._note(EventKind.UNMAP, now_ns, action)
             elif action.kind is ActionKind.GRANT:
-                self.space.domains.grant(action.thread_id, pmo.pmo_id,
+                self.space.domains.grant(action.thread_id, target.pmo_id,
                                          action.access)
                 if not self.monitor.tew.is_open((action.thread_id,
-                                                 pmo.pmo_id)):
+                                                 target.pmo_id)):
                     self.monitor.thread_granted(action.thread_id,
-                                                pmo.pmo_id, now_ns)
+                                                target.pmo_id, now_ns)
                 self.counters.grants += 1
                 self._note(EventKind.GRANT, now_ns, action)
             elif action.kind is ActionKind.REVOKE:
-                if self.space.domains.key_of(pmo.pmo_id) is not None:
-                    self.space.domains.revoke(action.thread_id, pmo.pmo_id)
-                if self.monitor.tew.is_open((action.thread_id, pmo.pmo_id)):
+                if self.space.domains.key_of(target.pmo_id) is not None:
+                    self.space.domains.revoke(action.thread_id,
+                                              target.pmo_id)
+                if self.monitor.tew.is_open((action.thread_id,
+                                             target.pmo_id)):
                     self.monitor.thread_revoked(action.thread_id,
-                                                pmo.pmo_id, now_ns)
+                                                target.pmo_id, now_ns)
                 self.counters.revokes += 1
                 self._note(EventKind.REVOKE, now_ns, action)
             elif action.kind is ActionKind.RANDOMIZE:
-                self.space.randomize(pmo.pmo_id)
+                self.space.randomize(target.pmo_id)
                 self.counters.randomizations += 1
                 # The PMO's address changed: the exposure window of the
                 # old location ends here and a new one begins.  This is
                 # what makes TT's EWs sit at the target (Table III) —
                 # an address never outlives the maximum EW.
-                if self.monitor.ew.is_open(pmo.pmo_id):
-                    self.monitor.pmo_unmapped(pmo.pmo_id, now_ns)
-                    self.monitor.pmo_mapped(pmo.pmo_id, now_ns)
+                if self.monitor.ew.is_open(target.pmo_id):
+                    self.monitor.pmo_unmapped(target.pmo_id, now_ns)
+                    self.monitor.pmo_mapped(target.pmo_id, now_ns)
                 self._note(EventKind.RANDOMIZE, now_ns, action)
 
     # -- tracing ------------------------------------------------------------

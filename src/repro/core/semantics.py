@@ -140,6 +140,17 @@ class SemanticsEngine:
     def last_real_attach_ns(self, pmo_id: Hashable) -> int:
         return self._state(pmo_id).last_real_attach_ns
 
+    def entity_pmos(self, thread_id: int) -> List[Hashable]:
+        """PMOs on which ``thread_id`` currently holds access.
+
+        This is the entity-lifecycle query the service layer uses to
+        clean up after a remote session that disconnects or crashes
+        mid-attach: every listed PMO still needs a detach on the
+        entity's behalf.
+        """
+        return [pmo_id for pmo_id, st in self._pmos.items()
+                if thread_id in st.holders]
+
     # -- events -------------------------------------------------------------
 
     def attach(self, thread_id: int, pmo_id: Hashable, access: Access,

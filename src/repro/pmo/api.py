@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import contextlib
 import struct
+import threading
 from typing import Iterator, Optional
 
 import numpy as np
@@ -42,6 +43,11 @@ class PmoLibrary:
             semantics, rng=np.random.default_rng(seed), strict=strict)
         self.clock_ns = 0
         self._thread_id = 0
+        #: Re-entrancy guard for multi-threaded embeddings (the terpd
+        #: service shares one library across many sessions).  All
+        #: Table I entry points take it; it is re-entrant so guarded
+        #: methods may call each other.
+        self.lock = threading.RLock()
 
     # -- simulation plumbing ---------------------------------------------
 
@@ -49,18 +55,38 @@ class PmoLibrary:
         """Advance the manual clock (simulated computation time)."""
         if delta_ns < 0:
             raise TerpError("cannot tick backwards")
-        self.clock_ns += delta_ns
-        return self.clock_ns
+        with self.lock:
+            self.clock_ns += delta_ns
+            return self.clock_ns
+
+    def advance_to(self, now_ns: int) -> int:
+        """Move the clock forward to an absolute time (idempotent).
+
+        Unlike :meth:`tick` this tolerates stale timestamps — a caller
+        holding an already-elapsed wall-clock reading simply leaves the
+        clock alone.  The terpd service drives the library clock from
+        the host's monotonic clock through this method.
+        """
+        with self.lock:
+            if now_ns > self.clock_ns:
+                self.clock_ns = now_ns
+            return self.clock_ns
 
     @contextlib.contextmanager
     def thread(self, thread_id: int) -> Iterator[None]:
-        """Run the enclosed calls as ``thread_id``."""
-        previous = self._thread_id
-        self._thread_id = thread_id
-        try:
-            yield
-        finally:
-            self._thread_id = previous
+        """Run the enclosed calls as ``thread_id``.
+
+        The lock is held for the whole block, so an entity's sequence
+        of calls is atomic with respect to other threads sharing the
+        library.
+        """
+        with self.lock:
+            previous = self._thread_id
+            self._thread_id = thread_id
+            try:
+                yield
+            finally:
+                self._thread_id = previous
 
     @property
     def manager(self) -> PmoManager:
@@ -71,24 +97,49 @@ class PmoLibrary:
     def PMO_create(self, name: str, size: int, mode: int = 0o600,
                    *, owner: str = "root") -> Pmo:
         """Create a PMO with the specified size; the caller owns it."""
-        return self.manager.create(name, size, owner=owner, mode=mode)
+        with self.lock:
+            return self.manager.create(name, size, owner=owner, mode=mode)
 
     def PMO_open(self, name: str, requested: Access = Access.RW,
                  *, user: str = "root") -> Pmo:
         """Reopen a PMO by name that was previously created."""
-        return self.manager.open(name, user=user, requested=requested)
+        with self.lock:
+            return self.manager.open(name, user=user, requested=requested)
 
     def PMO_close(self, pmo: Pmo) -> None:
         """Close a PMO (drops one open reference)."""
-        self.manager.close(pmo)
+        with self.lock:
+            self.manager.close(pmo)
+
+    def PMO_destroy(self, name: str) -> None:
+        """Remove a PMO from the namespace (Table I ``PMO_destroy``).
+
+        The PMO must not be mapped anywhere; remaining open references
+        are drained first — destroy is an owner-level operation that
+        outranks per-caller open counts.
+        """
+        with self.lock:
+            if not self.manager.exists(name):
+                raise PmoError(f"no PMO named {name!r}")
+            pmo = self.manager.open(name, user="root",
+                                    requested=Access.NONE)
+            self.manager.close(pmo)
+            if self.runtime.semantics.is_mapped(pmo.pmo_id):
+                raise PmoError(
+                    f"PMO {name!r} is still attached; detach first")
+            while self.manager.open_count(pmo) > 0:
+                self.manager.close(pmo)
+            self.manager.destroy(name)
 
     def pmalloc(self, pmo: Pmo, size: int) -> Oid:
         """Allocate persistent data on ``pmo``; returns its OID."""
-        return pmo.pmalloc(size)
+        with self.lock:
+            return pmo.pmalloc(size)
 
     def pfree(self, oid: Oid) -> None:
         """Free persistent data pointed to by the OID."""
-        self.manager.get(oid.pool_id).pfree(oid)
+        with self.lock:
+            self.manager.get(oid.pool_id).pfree(oid)
 
     def oid_direct(self, oid: Oid) -> int:
         """Translate an OID to its current virtual address.
@@ -101,31 +152,50 @@ class PmoLibrary:
 
     def attach(self, pmo: Pmo, permission: Access = Access.RW) -> Handle:
         """Memory-map an opened PMO with the requested permission."""
-        result = self.runtime.attach(self._thread_id, pmo, permission,
-                                     self.clock_ns)
-        if not result.ok:
-            raise PmoError(f"attach failed: {result.decision.reason}")
-        return result.handle
+        with self.lock:
+            result = self.runtime.attach(self._thread_id, pmo, permission,
+                                         self.clock_ns)
+            if not result.ok:
+                raise PmoError(f"attach failed: {result.decision.reason}")
+            return result.handle
 
     def detach(self, pmo: Pmo) -> None:
         """Unmap an attached PMO from the process address space."""
-        self.runtime.detach(self._thread_id, pmo, self.clock_ns)
+        with self.lock:
+            self.runtime.detach(self._thread_id, pmo, self.clock_ns)
+
+    def psync(self, pmo: Pmo) -> int:
+        """Durability point (Table I ``psync``): persist pending writes.
+
+        Commits the PMO's open transaction, if any, so every logged
+        write reaches its home location; outside a transaction the
+        store path is write-through and this is a (valid) no-op.
+        Returns the number of writes made durable.
+        """
+        with self.lock:
+            if not pmo.log.in_transaction:
+                return 0
+            pending = len(pmo.log.pending_writes)
+            pmo.commit_tx()
+            return pending
 
     # -- guarded data access -------------------------------------------------
 
     def read(self, oid: Oid, n: int) -> bytes:
         """Checked read: semantics- and permission-validated."""
-        pmo = self.manager.get(oid.pool_id)
-        self.runtime.access(self._thread_id, pmo, oid.offset, Access.READ,
-                            self.clock_ns)
-        return pmo.read(oid.offset, n)
+        with self.lock:
+            pmo = self.manager.get(oid.pool_id)
+            self.runtime.access(self._thread_id, pmo, oid.offset,
+                                Access.READ, self.clock_ns)
+            return pmo.read(oid.offset, n)
 
     def write(self, oid: Oid, data: bytes) -> None:
         """Checked write."""
-        pmo = self.manager.get(oid.pool_id)
-        self.runtime.access(self._thread_id, pmo, oid.offset, Access.WRITE,
-                            self.clock_ns)
-        pmo.write(oid.offset, data)
+        with self.lock:
+            pmo = self.manager.get(oid.pool_id)
+            self.runtime.access(self._thread_id, pmo, oid.offset,
+                                Access.WRITE, self.clock_ns)
+            pmo.write(oid.offset, data)
 
     def read_u64(self, oid: Oid) -> int:
         return struct.unpack("<Q", self.read(oid, 8))[0]

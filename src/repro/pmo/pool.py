@@ -108,6 +108,17 @@ class PmoManager:
             raise PmoError(f"no PMO with id {pmo_id}")
         return pmo
 
+    def lookup(self, name: str) -> Pmo:
+        """Resolve a PMO by name *without* bumping the open count.
+
+        For internal resolution (service dispatch, cross-process
+        queries) where no new open reference is being handed out.
+        """
+        pmo = self._by_name.get(name)
+        if pmo is None:
+            raise PmoError(f"no PMO named {name!r}")
+        return pmo
+
     def exists(self, name: str) -> bool:
         return name in self._by_name
 

@@ -1,0 +1,46 @@
+"""terpd — the multi-tenant PMO service layer.
+
+The reproduction's core is a single-process library; this package
+turns it into a daemon.  ``terpd`` serves the full Table I API
+(`PMO_create`/`attach`/`detach`/`pmalloc`/`pfree`/`read`/`write`/
+`psync`/`destroy`) over a length-prefixed JSON protocol on TCP or Unix
+sockets, multiplexing many client *sessions* onto one
+:class:`~repro.pmo.api.PmoLibrary`.  Each session is mapped to a TERP
+entity, so the EW-conscious semantics, the permission matrix, and the
+arch engine's window combining are enforced *across* clients — and a
+background sweeper force-detaches any session whose exposure budget
+elapses, including clients that crash or disconnect mid-attach.
+
+Modules:
+
+``protocol``   the wire format (framing, requests, responses, errors)
+``sessions``   session registry and session -> entity mapping
+``metrics``    per-session and global counters + latency percentiles
+``server``     the asyncio daemon (``TerpService``) and thread harness
+``client``     asyncio and blocking clients with pipelining support
+
+Run the daemon with ``python -m repro.service``.
+"""
+
+from repro.service.client import RemoteError, SyncTerpClient, TerpClient
+from repro.service.metrics import LatencyRecorder, ServiceMetrics
+from repro.service.protocol import (
+    MAX_FRAME_BYTES, WireError, decode_frame, encode_frame)
+from repro.service.server import ServiceThread, TerpService
+from repro.service.sessions import Session, SessionRegistry
+
+__all__ = [
+    "LatencyRecorder",
+    "MAX_FRAME_BYTES",
+    "RemoteError",
+    "ServiceMetrics",
+    "ServiceThread",
+    "Session",
+    "SessionRegistry",
+    "SyncTerpClient",
+    "TerpClient",
+    "TerpService",
+    "WireError",
+    "decode_frame",
+    "encode_frame",
+]

@@ -1,0 +1,375 @@
+"""terpd clients: asyncio and blocking, both pipelining-capable.
+
+Two clients over the same wire protocol:
+
+* :class:`TerpClient` — asyncio.  ``submit()`` fires a request without
+  waiting (pipelining: the server answers in order per connection, so
+  responses are matched FIFO and checked against the request id);
+  ``call()`` is submit-and-await.
+* :class:`SyncTerpClient` — a plain blocking socket, for threads,
+  scripts, and load generators.  ``pipeline()`` sends a burst of
+  request frames back-to-back before collecting the responses;
+  ``batch()`` packs them into a single array frame instead.
+
+Both surface the Table I API as methods (``create``/``open``/
+``attach``/``detach``/``pmalloc``/``pfree``/``read``/``write``/
+``psync``/``destroy``), translate error responses into
+:class:`RemoteError`, and collect out-of-band ``forced-detach``
+events into :attr:`events`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import socket
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.core.errors import TerpError
+from repro.pmo.object_id import Oid
+from repro.service import protocol
+from repro.service.protocol import WireError
+
+
+class RemoteError(TerpError):
+    """An error response from terpd; ``kind`` is the server-side
+    exception class name (``PmoError``, ``TerpError``, ...)."""
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(f"{kind}: {message}")
+        self.kind = kind
+        self.remote_message = message
+
+
+class _ClientCore:
+    """Response bookkeeping shared by both clients."""
+
+    def __init__(self) -> None:
+        self.session_id: Optional[int] = None
+        self.entity_id: Optional[int] = None
+        self.ew_budget_us: Optional[float] = None
+        #: out-of-band events (forced detaches) seen on any response.
+        self.events: List[dict] = []
+        self._next_id = 0
+
+    def next_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    @property
+    def forced_detaches(self) -> int:
+        return sum(1 for e in self.events
+                   if e.get("event") == "forced-detach")
+
+    def take_result(self, response: Any, expect_id: int) -> Any:
+        if not isinstance(response, dict):
+            raise WireError(f"response is not an object: {response!r}")
+        if response.get("id") != expect_id:
+            raise WireError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {expect_id} (pipelining desync)")
+        self.events.extend(response.get("events") or [])
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise RemoteError(str(error.get("kind", "TerpError")),
+                              str(error.get("message", "unknown")))
+        return response.get("result")
+
+    def note_hello(self, result: Dict) -> None:
+        self.session_id = result["session"]
+        self.entity_id = result["entity"]
+        self.ew_budget_us = result["ew_budget_us"]
+
+
+class SyncTerpClient(_ClientCore):
+    """Blocking terpd client over TCP or a Unix socket."""
+
+    def __init__(self, *, host: str = "127.0.0.1",
+                 port: Optional[int] = None,
+                 unix_path: Optional[str] = None,
+                 user: str = "root",
+                 ew_budget_us: Optional[float] = None,
+                 timeout: float = 30.0) -> None:
+        super().__init__()
+        if (port is None) == (unix_path is None):
+            raise TerpError("give exactly one of port / unix_path")
+        self._sock: Optional[socket.socket] = None
+        self._host, self._port, self._unix = host, port, unix_path
+        self._user, self._budget = user, ew_budget_us
+        self._timeout = timeout
+
+    def connect(self) -> "SyncTerpClient":
+        if self._unix is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self._timeout)
+            sock.connect(self._unix)
+        else:
+            sock = socket.create_connection(
+                (self._host, self._port), timeout=self._timeout)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        args: Dict[str, Any] = {"user": self._user}
+        if self._budget is not None:
+            args["ew_budget_us"] = self._budget
+        self.note_hello(self.call("hello", **args))
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "SyncTerpClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request plumbing -------------------------------------------------
+
+    def call(self, op: str, **args: Any) -> Any:
+        """One request, one response."""
+        rid = self.next_id()
+        protocol.send_frame(self._sock, protocol.request(rid, op, args))
+        response = protocol.recv_frame(self._sock)
+        if response is None:
+            raise WireError("server closed the connection")
+        return self.take_result(response, rid)
+
+    def pipeline(self, requests: List[Tuple[str, Dict]]) -> List[Any]:
+        """Send every request frame before reading any response.
+
+        Returns results in request order; a failed request raises only
+        when its slot is reached, after all frames were sent — matching
+        how a pipelined server consumes them.
+        """
+        rids = []
+        for op, args in requests:
+            rid = self.next_id()
+            rids.append(rid)
+            protocol.send_frame(self._sock,
+                                protocol.request(rid, op, args))
+        results = []
+        for rid in rids:
+            response = protocol.recv_frame(self._sock)
+            if response is None:
+                raise WireError("server closed mid-pipeline")
+            results.append(self.take_result(response, rid))
+        return results
+
+    def batch(self, requests: List[Tuple[str, Dict]]) -> List[Any]:
+        """Pack many requests into one frame (one syscall each way)."""
+        packed = []
+        rids = []
+        for op, args in requests:
+            rid = self.next_id()
+            rids.append(rid)
+            packed.append(protocol.request(rid, op, args))
+        protocol.send_frame(self._sock, packed)
+        responses = protocol.recv_frame(self._sock)
+        if not isinstance(responses, list) or \
+                len(responses) != len(rids):
+            raise WireError("batch response shape mismatch")
+        return [self.take_result(response, rid)
+                for response, rid in zip(responses, rids)]
+
+    # -- Table I convenience ----------------------------------------------
+
+    def create(self, name: str, size: int, mode: int = 0o600) -> Dict:
+        return self.call("create", name=name, size=size, mode=mode)
+
+    def open(self, name: str, access: str = "rw") -> Dict:
+        return self.call("open", name=name, access=access)
+
+    def close_pmo(self, name: str) -> Dict:
+        return self.call("close", name=name)
+
+    def destroy(self, name: str) -> Dict:
+        return self.call("destroy", name=name)
+
+    def attach(self, name: str, access: str = "rw") -> Dict:
+        return self.call("attach", name=name, access=access)
+
+    def detach(self, name: str) -> Dict:
+        return self.call("detach", name=name)
+
+    def pmalloc(self, name: str, size: int) -> Oid:
+        return Oid.unpack(self.call("pmalloc", name=name,
+                                    size=size)["oid"])
+
+    def pfree(self, oid: Oid) -> None:
+        self.call("pfree", oid=oid.pack())
+
+    def read(self, oid: Oid, n: int) -> bytes:
+        return protocol.decode_bytes(
+            self.call("read", oid=oid.pack(), n=n)["data"])
+
+    def write(self, oid: Oid, data: bytes) -> int:
+        return self.call("write", oid=oid.pack(),
+                         data=protocol.encode_bytes(data))["n"]
+
+    def read_u64(self, oid: Oid) -> int:
+        return self.call("read_u64", oid=oid.pack())["value"]
+
+    def write_u64(self, oid: Oid, value: int) -> None:
+        self.call("write_u64", oid=oid.pack(), value=value)
+
+    def psync(self, name: str) -> int:
+        return self.call("psync", name=name)["flushed"]
+
+    def tx_begin(self, name: str) -> int:
+        return self.call("tx_begin", name=name)["tx"]
+
+    def tx_abort(self, name: str) -> None:
+        self.call("tx_abort", name=name)
+
+    def metrics(self) -> Dict:
+        return self.call("metrics")
+
+    def ping(self) -> Dict:
+        return self.call("ping")
+
+    def goodbye(self) -> Dict:
+        return self.call("goodbye")
+
+
+class TerpClient(_ClientCore):
+    """Asyncio terpd client with FIFO-pipelined requests."""
+
+    def __init__(self, *, host: str = "127.0.0.1",
+                 port: Optional[int] = None,
+                 unix_path: Optional[str] = None,
+                 user: str = "root",
+                 ew_budget_us: Optional[float] = None) -> None:
+        super().__init__()
+        if (port is None) == (unix_path is None):
+            raise TerpError("give exactly one of port / unix_path")
+        self._host, self._port, self._unix = host, port, unix_path
+        self._user, self._budget = user, ew_budget_us
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._pending: Deque[Tuple[int, asyncio.Future]] = \
+            collections.deque()
+        self._pump: Optional[asyncio.Task] = None
+
+    async def connect(self) -> "TerpClient":
+        if self._unix is not None:
+            self._reader, self._writer = \
+                await asyncio.open_unix_connection(self._unix)
+        else:
+            self._reader, self._writer = \
+                await asyncio.open_connection(self._host, self._port)
+        self._pump = asyncio.create_task(self._pump_responses())
+        args: Dict[str, Any] = {"user": self._user}
+        if self._budget is not None:
+            args["ew_budget_us"] = self._budget
+        self.note_hello(await self.call("hello", **args))
+        return self
+
+    async def close(self) -> None:
+        if self._pump is not None:
+            self._pump.cancel()
+            try:
+                await self._pump
+            except asyncio.CancelledError:
+                pass
+            self._pump = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._writer = None
+
+    async def __aenter__(self) -> "TerpClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def _pump_responses(self) -> None:
+        """Match response frames to pending futures, FIFO."""
+        try:
+            while True:
+                response = await protocol.read_frame(self._reader)
+                if response is None:
+                    raise WireError("server closed the connection")
+                if not self._pending:
+                    raise WireError("unsolicited response frame")
+                rid, future = self._pending.popleft()
+                if not future.done():
+                    try:
+                        future.set_result(
+                            self.take_result(response, rid))
+                    except (RemoteError, WireError) as exc:
+                        future.set_exception(exc)
+        except (WireError, ConnectionResetError) as exc:
+            while self._pending:
+                _, future = self._pending.popleft()
+                if not future.done():
+                    future.set_exception(WireError(str(exc)))
+        except asyncio.CancelledError:
+            while self._pending:
+                _, future = self._pending.popleft()
+                if not future.done():
+                    future.set_exception(WireError("client closed"))
+            raise
+
+    async def submit(self, op: str, **args: Any) -> "asyncio.Future":
+        """Fire a request; returns the future of its result."""
+        rid = self.next_id()
+        future = asyncio.get_running_loop().create_future()
+        self._pending.append((rid, future))
+        await protocol.write_frame(self._writer,
+                                   protocol.request(rid, op, args))
+        return future
+
+    async def call(self, op: str, **args: Any) -> Any:
+        return await (await self.submit(op, **args))
+
+    # -- Table I convenience ----------------------------------------------
+
+    async def attach(self, name: str, access: str = "rw") -> Dict:
+        return await self.call("attach", name=name, access=access)
+
+    async def detach(self, name: str) -> Dict:
+        return await self.call("detach", name=name)
+
+    async def create(self, name: str, size: int,
+                     mode: int = 0o600) -> Dict:
+        return await self.call("create", name=name, size=size,
+                               mode=mode)
+
+    async def open(self, name: str, access: str = "rw") -> Dict:
+        return await self.call("open", name=name, access=access)
+
+    async def pmalloc(self, name: str, size: int) -> Oid:
+        result = await self.call("pmalloc", name=name, size=size)
+        return Oid.unpack(result["oid"])
+
+    async def pfree(self, oid: Oid) -> None:
+        await self.call("pfree", oid=oid.pack())
+
+    async def read(self, oid: Oid, n: int) -> bytes:
+        result = await self.call("read", oid=oid.pack(), n=n)
+        return protocol.decode_bytes(result["data"])
+
+    async def write(self, oid: Oid, data: bytes) -> int:
+        result = await self.call("write", oid=oid.pack(),
+                                 data=protocol.encode_bytes(data))
+        return result["n"]
+
+    async def psync(self, name: str) -> int:
+        return (await self.call("psync", name=name))["flushed"]
+
+    async def destroy(self, name: str) -> Dict:
+        return await self.call("destroy", name=name)
+
+    async def metrics(self) -> Dict:
+        return await self.call("metrics")
+
+    async def goodbye(self) -> Dict:
+        return await self.call("goodbye")

@@ -1,0 +1,147 @@
+"""Service observability: counters and latency percentiles.
+
+Two granularities, mirroring what an operator of a multi-tenant PMO
+daemon needs:
+
+* :class:`ServiceMetrics` — daemon-wide: request totals per op,
+  attach/forced-detach tallies, sweep runs and sweep latency, request
+  latency percentiles (p50/p99).
+* :class:`SessionMetrics` — per session: request count, bytes moved,
+  attaches, forced detaches, errors.
+
+Latency percentiles come from a bounded reservoir
+(:class:`LatencyRecorder`): the first ``capacity`` samples are kept
+verbatim; after that, samples overwrite uniformly-random slots so the
+reservoir stays an unbiased sample of the whole run without unbounded
+memory.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class LatencyRecorder:
+    """Reservoir-sampled latency population with percentile queries."""
+
+    def __init__(self, capacity: int = 8192, *, seed: int = 2022) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.count = 0
+        self.total_ns = 0
+        self.max_ns = 0
+        self._samples: List[int] = []
+        self._rng = random.Random(seed)
+
+    def record(self, latency_ns: int) -> None:
+        self.count += 1
+        self.total_ns += latency_ns
+        if latency_ns > self.max_ns:
+            self.max_ns = latency_ns
+        if len(self._samples) < self.capacity:
+            self._samples.append(latency_ns)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.capacity:
+                self._samples[slot] = latency_ns
+
+    def percentile(self, p: float) -> Optional[int]:
+        """The p-th percentile (0..100) of the sampled population."""
+        if not self._samples:
+            return None
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be within [0, 100]")
+        ordered = sorted(self._samples)
+        index = min(len(ordered) - 1,
+                    max(0, round(p / 100.0 * (len(ordered) - 1))))
+        return ordered[index]
+
+    @property
+    def mean_ns(self) -> float:
+        return self.total_ns / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_us": self.mean_ns / 1e3,
+            "p50_us": (self.percentile(50) or 0) / 1e3,
+            "p99_us": (self.percentile(99) or 0) / 1e3,
+            "max_us": self.max_ns / 1e3,
+        }
+
+
+@dataclass
+class SessionMetrics:
+    """One session's share of the daemon's work."""
+
+    requests: int = 0
+    errors: int = 0
+    attaches: int = 0
+    detaches: int = 0
+    forced_detaches: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "attaches": self.attaches,
+            "detaches": self.detaches,
+            "forced_detaches": self.forced_detaches,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+        }
+
+
+@dataclass
+class ServiceMetrics:
+    """Daemon-wide counters, the ``metrics`` op's payload."""
+
+    requests: int = 0
+    errors: int = 0
+    batches: int = 0
+    sessions_opened: int = 0
+    sessions_closed: int = 0
+    attaches: int = 0
+    detaches: int = 0
+    forced_detaches: int = 0
+    disconnect_detaches: int = 0
+    sweep_runs: int = 0
+    ops: Dict[str, int] = field(default_factory=dict)
+    request_latency: LatencyRecorder = field(
+        default_factory=lambda: LatencyRecorder(seed=7))
+    sweep_latency: LatencyRecorder = field(
+        default_factory=lambda: LatencyRecorder(capacity=2048, seed=11))
+
+    def note_request(self, op: str, latency_ns: int, *,
+                     ok: bool) -> None:
+        self.requests += 1
+        if not ok:
+            self.errors += 1
+        self.ops[op] = self.ops.get(op, 0) + 1
+        self.request_latency.record(latency_ns)
+
+    def note_sweep(self, latency_ns: int) -> None:
+        self.sweep_runs += 1
+        self.sweep_latency.record(latency_ns)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "batches": self.batches,
+            "sessions_opened": self.sessions_opened,
+            "sessions_closed": self.sessions_closed,
+            "attaches": self.attaches,
+            "detaches": self.detaches,
+            "forced_detaches": self.forced_detaches,
+            "disconnect_detaches": self.disconnect_detaches,
+            "sweep_runs": self.sweep_runs,
+            "ops": dict(self.ops),
+            "request_latency": self.request_latency.to_dict(),
+            "sweep_latency": self.sweep_latency.to_dict(),
+        }

@@ -1,0 +1,162 @@
+"""The terpd wire protocol: length-prefixed JSON frames.
+
+A frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON.  One frame carries either a single request (a
+JSON object) or a *batch* (a JSON array of requests); the response
+frame mirrors the shape — object for object, array for array, in
+order.  Clients may also *pipeline*: send many single-request frames
+without waiting, then collect the responses, which the server returns
+in request order per connection.
+
+Request::
+
+    {"id": 7, "op": "attach", "args": {"name": "mydata", "access": "rw"}}
+
+Success response::
+
+    {"id": 7, "ok": true, "result": {...}, "events": [...]}
+
+Error response::
+
+    {"id": 7, "ok": false, "error": {"kind": "PmoError", "message": "..."}}
+
+``events`` is only present when the session has pending out-of-band
+notifications — today the only kind is ``forced-detach``, emitted when
+the sweeper closed one of the session's exposure windows by force.
+
+Binary payloads (PMO data) travel base64-encoded; OIDs travel as their
+packed 64-bit integer (:meth:`repro.pmo.object_id.Oid.pack`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+import socket
+import struct
+from typing import Any, Dict, List, Optional
+
+from repro.core.errors import TerpError
+
+#: Frame header: payload length, 4-byte big-endian unsigned.
+HEADER = struct.Struct(">I")
+#: Upper bound on a single frame, a sanity guard against a desynced or
+#: hostile peer streaming garbage lengths (16 MiB fits any sane batch).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+#: Protocol revision, negotiated in ``hello``.
+PROTOCOL_VERSION = 1
+
+
+class WireError(TerpError):
+    """Malformed frame, oversized frame, or truncated stream."""
+
+
+# -- framing ----------------------------------------------------------------
+
+def encode_frame(payload: Any) -> bytes:
+    """Serialize one request/response (or batch) into a wire frame."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise WireError(f"frame of {len(body)} bytes exceeds "
+                        f"{MAX_FRAME_BYTES}")
+    return HEADER.pack(len(body)) + body
+
+
+def decode_frame(body: bytes) -> Any:
+    """Parse a frame body (the bytes after the length header)."""
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"undecodable frame: {exc}") from None
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[Any]:
+    """Read one frame from an asyncio stream; None on clean EOF."""
+    try:
+        header = await reader.readexactly(HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise WireError("stream truncated mid-header") from None
+    (length,) = HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise WireError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise WireError("stream truncated mid-frame") from None
+    return decode_frame(body)
+
+
+async def write_frame(writer: asyncio.StreamWriter, payload: Any) -> None:
+    writer.write(encode_frame(payload))
+    await writer.drain()
+
+
+def recv_frame(sock: socket.socket) -> Optional[Any]:
+    """Blocking-socket counterpart of :func:`read_frame`."""
+    header = _recv_exactly(sock, HEADER.size, eof_ok=True)
+    if header is None:
+        return None
+    (length,) = HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise WireError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+    body = _recv_exactly(sock, length, eof_ok=False)
+    return decode_frame(body)
+
+
+def send_frame(sock: socket.socket, payload: Any) -> None:
+    sock.sendall(encode_frame(payload))
+
+
+def _recv_exactly(sock: socket.socket, n: int, *,
+                  eof_ok: bool) -> Optional[bytes]:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if eof_ok and remaining == n:
+                return None
+            raise WireError("stream truncated")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# -- request / response shapes ----------------------------------------------
+
+def request(rid: int, op: str, args: Optional[Dict[str, Any]] = None) -> Dict:
+    return {"id": rid, "op": op, "args": args or {}}
+
+
+def ok_response(rid: Optional[int], result: Any,
+                events: Optional[List[Dict]] = None) -> Dict:
+    response: Dict[str, Any] = {"id": rid, "ok": True, "result": result}
+    if events:
+        response["events"] = events
+    return response
+
+
+def error_response(rid: Optional[int], kind: str, message: str,
+                   events: Optional[List[Dict]] = None) -> Dict:
+    response: Dict[str, Any] = {
+        "id": rid, "ok": False,
+        "error": {"kind": kind, "message": message}}
+    if events:
+        response["events"] = events
+    return response
+
+
+# -- payload encoding helpers ------------------------------------------------
+
+def encode_bytes(data: bytes) -> str:
+    return base64.b64encode(data).decode("ascii")
+
+
+def decode_bytes(text: str) -> bytes:
+    try:
+        return base64.b64decode(text.encode("ascii"), validate=True)
+    except Exception as exc:
+        raise WireError(f"bad base64 payload: {exc}") from None

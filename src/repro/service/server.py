@@ -1,0 +1,570 @@
+"""terpd — the asyncio PMO daemon.
+
+:class:`TerpService` multiplexes many client sessions onto one shared
+:class:`~repro.pmo.api.PmoLibrary` whose semantics engine is the
+hardware :class:`~repro.arch.cond_engine.TerpArchEngine`: every remote
+attach/detach flows through the CONDAT/CONDDT cases, so window
+combining, the circular buffer, and the permission matrix operate
+*across* clients exactly as they do across threads in the paper.
+
+Temporal enforcement is two-layered:
+
+* **engine sweep** — the arch engine's periodic sweep closes expired
+  delayed-detach windows and re-randomizes held PMOs (Figure 7a),
+  driven here by a background asyncio task instead of a hardware timer;
+* **session-scoped enforcement** — each session carries a wall-clock
+  exposure budget; the same background task force-detaches any PMO a
+  session has held past its budget, delivering a ``forced-detach``
+  event on the session's next response.  A client that crashes or
+  disconnects mid-attach is cleaned up the same way on connection
+  teardown, so no remote failure mode can leave a window open.
+
+The daemon's clock is the host's monotonic clock (ns since service
+construction); it drives the library clock through
+:meth:`PmoLibrary.advance_to`, so exposure windows measured by the
+runtime are real wall-clock durations.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+from repro.arch.cond_engine import TerpArchEngine
+from repro.core.errors import PmoError, TerpError
+from repro.mem.mpk import NUM_KEYS
+from repro.core.permissions import Access
+from repro.pmo.api import PmoLibrary
+from repro.pmo.object_id import Oid
+from repro.pmo.pool import mode_allows
+from repro.service import protocol
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import (
+    PROTOCOL_VERSION, WireError, error_response, ok_response)
+from repro.service.sessions import Session, SessionRegistry
+
+#: Default wall-clock exposure budget per session: 50ms.  Generous next
+#: to the paper's 40us simulated target, but terpd enforces over real
+#: client round-trips, not simulated cycles.
+DEFAULT_SESSION_EW_NS = 50_000_000
+#: Default sweep period: 10ms, a 5x oversampling of the budget.
+DEFAULT_SWEEP_PERIOD_NS = 10_000_000
+
+
+class _Conn:
+    """Per-connection state: the bound session, once hello'd."""
+
+    __slots__ = ("session", "peer")
+
+    def __init__(self, peer: str) -> None:
+        self.session: Optional[Session] = None
+        self.peer = peer
+
+
+class TerpService:
+    """The terpd daemon: Table I over sockets, with exposure sweeping."""
+
+    def __init__(self, *, host: str = "127.0.0.1",
+                 port: Optional[int] = 0,
+                 unix_path: Optional[str] = None,
+                 ew_target_us: float = 40.0,
+                 session_ew_ns: int = DEFAULT_SESSION_EW_NS,
+                 sweep_period_ns: int = DEFAULT_SWEEP_PERIOD_NS,
+                 cb_capacity: int = 32,
+                 seed: int = 2022) -> None:
+        if port is None and unix_path is None:
+            raise TerpError("need a TCP port and/or a unix socket path")
+        self.host = host
+        self.port = port
+        self.unix_path = unix_path
+        self.sweep_period_ns = sweep_period_ns
+        # Bound mapped PMOs by the MPK key pool as well as the CB:
+        # the 16th simultaneous mapping must evict, not exhaust keys.
+        engine = TerpArchEngine(int(ew_target_us * 1_000),
+                                capacity=cb_capacity,
+                                domain_capacity=NUM_KEYS - 1,
+                                sweep_period_ns=sweep_period_ns)
+        engine.on_forced_detach = self._on_engine_forced_detach
+        self.engine = engine
+        self.lib = PmoLibrary(semantics=engine, seed=seed, strict=True)
+        self.registry = SessionRegistry(
+            default_ew_budget_ns=session_ew_ns)
+        self.metrics = ServiceMetrics()
+        self._t0 = time.monotonic_ns()
+        self._servers: List[asyncio.AbstractServer] = []
+        self._sweeper: Optional[asyncio.Task] = None
+        self._writers: set = set()
+        self._stopped = False
+        self.bound_port: Optional[int] = None
+        self._handlers: Dict[str, Callable[[_Conn, Dict], Any]] = {
+            "hello": self._op_hello,
+            "goodbye": self._op_goodbye,
+            "ping": self._op_ping,
+            "metrics": self._op_metrics,
+            "create": self._op_create,
+            "open": self._op_open,
+            "close": self._op_close,
+            "destroy": self._op_destroy,
+            "attach": self._op_attach,
+            "detach": self._op_detach,
+            "pmalloc": self._op_pmalloc,
+            "pfree": self._op_pfree,
+            "read": self._op_read,
+            "write": self._op_write,
+            "read_u64": self._op_read_u64,
+            "write_u64": self._op_write_u64,
+            "psync": self._op_psync,
+            "tx_begin": self._op_tx_begin,
+            "tx_abort": self._op_tx_abort,
+        }
+        #: ops allowed before hello binds a session
+        self._sessionless = {"hello", "ping", "metrics"}
+
+    # -- clock ---------------------------------------------------------------
+
+    def now_ns(self) -> int:
+        """Monotonic nanoseconds since service construction."""
+        return time.monotonic_ns() - self._t0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the configured endpoints and launch the sweeper."""
+        if self.port is not None:
+            server = await asyncio.start_server(
+                self._serve_connection, self.host, self.port)
+            self._servers.append(server)
+            self.bound_port = server.sockets[0].getsockname()[1]
+        if self.unix_path is not None:
+            server = await asyncio.start_unix_server(
+                self._serve_connection, path=self.unix_path)
+            self._servers.append(server)
+        self._sweeper = asyncio.create_task(self._sweep_loop())
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop sweeping, detach every session."""
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+            try:
+                await self._sweeper
+            except asyncio.CancelledError:
+                pass
+        for server in self._servers:
+            server.close()
+            await server.wait_closed()
+        with self.lib.lock:
+            now = self.lib.advance_to(self.now_ns())
+            for session in self.registry:
+                self._release_session(session, now, reason="shutdown")
+                self.registry.remove(session.session_id)
+            self.lib.runtime.finish(self.lib.clock_ns)
+        for writer in list(self._writers):
+            writer.close()
+
+    async def serve_forever(self) -> None:
+        await self.start()
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await self.stop()
+
+    # -- the sweeper ---------------------------------------------------------
+
+    async def _sweep_loop(self) -> None:
+        period_s = self.sweep_period_ns / 1e9
+        while True:
+            await asyncio.sleep(period_s)
+            self.run_sweep()
+
+    def run_sweep(self) -> int:
+        """One sweeper pass; returns the number of forced detaches.
+
+        Callable directly (tests, embedders); the background task calls
+        it on every period.  Two phases under the library lock:
+        session-budget enforcement, then the engine's own sweep.
+        """
+        t_wall = time.perf_counter_ns()
+        forced = 0
+        with self.lib.lock:
+            now = self.lib.advance_to(self.now_ns())
+            for session in self.registry:
+                for pmo_id in session.expired(now):
+                    self._force_detach_session(session, pmo_id, now)
+                    forced += 1
+            self.lib.runtime.sweep(now)
+        self.metrics.note_sweep(time.perf_counter_ns() - t_wall)
+        return forced
+
+    def _force_detach_session(self, session: Session, pmo_id: int,
+                              now_ns: int) -> None:
+        """Detach one expired holding on the session's behalf."""
+        pmo = self.lib.manager.get(pmo_id)
+        try:
+            self.lib.runtime.detach(session.entity_id, pmo, now_ns)
+        except TerpError:
+            # The pair may already be gone (engine eviction raced us);
+            # enforcement is idempotent.
+            pass
+        session.note_forced_detach(pmo_id, pmo.name, now_ns,
+                                   "session EW budget elapsed")
+        self.metrics.forced_detaches += 1
+
+    def _release_session(self, session: Session, now_ns: int, *,
+                         reason: str) -> int:
+        """Detach everything a departing session still holds."""
+        released = self.lib.runtime.release_entity(session.entity_id,
+                                                   now_ns)
+        for pmo_id, _ in released:
+            session.note_detach(pmo_id)
+            if reason == "disconnect":
+                self.metrics.disconnect_detaches += 1
+        session.attached_at.clear()
+        return len(released)
+
+    def _on_engine_forced_detach(self, pmo_id: Hashable,
+                                 thread_ids: Tuple[int, ...]) -> None:
+        """Arch-engine callback: eviction/sweep closed open pairs."""
+        try:
+            name = self.lib.manager.get(pmo_id).name
+        except PmoError:
+            name = str(pmo_id)
+        now = self.lib.clock_ns
+        for thread_id in thread_ids:
+            session = self.registry.by_entity(thread_id)
+            if session is not None:
+                session.note_forced_detach(pmo_id, name, now,
+                                           "arch engine forced detach")
+                self.metrics.forced_detaches += 1
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        peer = writer.get_extra_info("peername") or \
+            writer.get_extra_info("sockname") or "unix"
+        conn = _Conn(str(peer))
+        self._writers.add(writer)
+        try:
+            while True:
+                payload = await protocol.read_frame(reader)
+                if payload is None:
+                    break
+                if isinstance(payload, list):
+                    self.metrics.batches += 1
+                    response: Any = [self._dispatch(conn, one)
+                                     for one in payload]
+                else:
+                    response = self._dispatch(conn, payload)
+                await protocol.write_frame(writer, response)
+        except (WireError, ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            if conn.session is not None and not conn.session.closed:
+                with self.lib.lock:
+                    now = self.lib.advance_to(self.now_ns())
+                    self._release_session(conn.session, now,
+                                          reason="disconnect")
+                self.registry.remove(conn.session.session_id)
+                self.metrics.sessions_closed += 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    # -- dispatch --------------------------------------------------------------
+
+    def _dispatch(self, conn: _Conn, req: Any) -> Dict:
+        t0 = time.perf_counter_ns()
+        rid = req.get("id") if isinstance(req, dict) else None
+        op = req.get("op") if isinstance(req, dict) else None
+        session = conn.session
+        try:
+            if not isinstance(req, dict) or not isinstance(op, str):
+                raise WireError("request must be an object with an 'op'")
+            handler = self._handlers.get(op)
+            if handler is None:
+                raise WireError(f"unknown op {op!r}")
+            if session is None and op not in self._sessionless:
+                raise TerpError(f"op {op!r} requires a session; "
+                                "say hello first")
+            args = req.get("args") or {}
+            if not isinstance(args, dict):
+                raise WireError("'args' must be an object")
+            with self.lib.lock:
+                self.lib.advance_to(self.now_ns())
+                result = handler(conn, args)
+            session = conn.session     # hello may have bound one
+            events = session.drain_events() if session else None
+            response = ok_response(rid, result, events)
+            ok = True
+        except (TerpError, WireError) as exc:
+            events = session.drain_events() if session else None
+            response = error_response(rid, type(exc).__name__, str(exc),
+                                      events)
+            ok = False
+        except (KeyError, TypeError, ValueError) as exc:
+            response = error_response(rid, "BadRequest",
+                                      f"malformed arguments: {exc!r}")
+            ok = False
+        latency = time.perf_counter_ns() - t0
+        self.metrics.note_request(op if isinstance(op, str) else "?",
+                                  latency, ok=ok)
+        if session is not None:
+            session.metrics.requests += 1
+            if not ok:
+                session.metrics.errors += 1
+        return response
+
+    # -- ops: session ----------------------------------------------------------
+
+    def _op_hello(self, conn: _Conn, args: Dict) -> Dict:
+        if conn.session is not None:
+            raise TerpError("connection already has a session")
+        version = int(args.get("version", PROTOCOL_VERSION))
+        if version != PROTOCOL_VERSION:
+            raise TerpError(f"protocol version {version} unsupported; "
+                            f"server speaks {PROTOCOL_VERSION}")
+        budget_us = args.get("ew_budget_us")
+        budget_ns = None if budget_us is None else int(
+            float(budget_us) * 1_000)
+        session = self.registry.create(
+            user=str(args.get("user", "root")), ew_budget_ns=budget_ns)
+        conn.session = session
+        self.metrics.sessions_opened += 1
+        return {"session": session.session_id,
+                "entity": session.entity_id,
+                "version": PROTOCOL_VERSION,
+                "ew_budget_us": session.ew_budget_ns / 1_000}
+
+    def _op_goodbye(self, conn: _Conn, args: Dict) -> Dict:
+        session = conn.session
+        released = self._release_session(session, self.lib.clock_ns,
+                                         reason="goodbye")
+        self.registry.remove(session.session_id)
+        self.metrics.sessions_closed += 1
+        return {"released": released}
+
+    def _op_ping(self, conn: _Conn, args: Dict) -> Dict:
+        return {"now_ns": self.lib.clock_ns,
+                "sessions": len(self.registry)}
+
+    def _op_metrics(self, conn: _Conn, args: Dict) -> Dict:
+        counters = self.lib.runtime.counters
+        out = {
+            "global": self.metrics.to_dict(),
+            "sessions": len(self.registry),
+            "runtime": {
+                "attach_calls": counters.attach_calls,
+                "detach_calls": counters.detach_calls,
+                "silent_percent": counters.silent_percent,
+                "randomizations": counters.randomizations,
+                "faults": counters.faults,
+                "accesses": counters.accesses,
+            },
+            "arch_cases": {
+                "case1_first_attach":
+                    self.engine.cases.case1_first_attach,
+                "case3_silent_attach":
+                    self.engine.cases.case3_silent_attach,
+                "case5_full_detach":
+                    self.engine.cases.case5_full_detach,
+                "case6_delayed_detach":
+                    self.engine.cases.case6_delayed_detach,
+                "sweep_detaches": self.engine.cases.sweep_detaches,
+                "sweep_randomizes": self.engine.cases.sweep_randomizes,
+            },
+        }
+        if conn.session is not None:
+            out["session"] = conn.session.metrics.to_dict()
+        return out
+
+    # -- ops: namespace --------------------------------------------------------
+
+    def _op_create(self, conn: _Conn, args: Dict) -> Dict:
+        session = conn.session
+        pmo = self.lib.PMO_create(str(args["name"]), int(args["size"]),
+                                  int(args.get("mode", 0o600)),
+                                  owner=session.user)
+        return {"pmo": pmo.pmo_id, "name": pmo.name,
+                "size": pmo.size_bytes}
+
+    def _op_open(self, conn: _Conn, args: Dict) -> Dict:
+        session = conn.session
+        access = Access.parse(str(args.get("access", "rw")))
+        pmo = self.lib.PMO_open(str(args["name"]), access,
+                                user=session.user)
+        return {"pmo": pmo.pmo_id, "name": pmo.name,
+                "size": pmo.size_bytes}
+
+    def _op_close(self, conn: _Conn, args: Dict) -> Dict:
+        pmo = self.lib.manager.lookup(str(args["name"]))
+        self.lib.PMO_close(pmo)
+        return {"closed": pmo.pmo_id}
+
+    def _op_destroy(self, conn: _Conn, args: Dict) -> Dict:
+        session = conn.session
+        name = str(args["name"])
+        pmo = self.lib.manager.lookup(name)
+        if session.user not in (pmo.owner, "root"):
+            raise PmoError(f"user {session.user!r} may not destroy "
+                           f"PMO {name!r} owned by {pmo.owner!r}")
+        self.lib.PMO_destroy(name)
+        return {"destroyed": name}
+
+    # -- ops: attach / detach ----------------------------------------------------
+
+    def _op_attach(self, conn: _Conn, args: Dict) -> Dict:
+        session = conn.session
+        access = Access.parse(str(args.get("access", "rw")))
+        pmo = self.lib.manager.lookup(str(args["name"]))
+        if not mode_allows(pmo.mode,
+                           is_owner=(session.user == pmo.owner),
+                           requested=access):
+            raise PmoError(f"user {session.user!r} denied {access} on "
+                           f"PMO {pmo.name!r}")
+        now = self.lib.clock_ns
+        result = self.lib.runtime.attach(session.entity_id, pmo, access,
+                                         now)
+        if not result.ok:
+            raise PmoError(f"attach failed: {result.decision.reason}")
+        session.note_attach(pmo.pmo_id, now)
+        self.metrics.attaches += 1
+        return {"outcome": result.decision.outcome.value,
+                "base_va": result.handle.base_va_at_attach,
+                "reason": result.decision.reason}
+
+    def _op_detach(self, conn: _Conn, args: Dict) -> Dict:
+        session = conn.session
+        pmo = self.lib.manager.lookup(str(args["name"]))
+        if pmo.pmo_id in session.forced_pmos:
+            # The sweeper already detached this on the session's
+            # behalf and the session's own detach raced it — a defined
+            # silent outcome, mirroring the engine's forced-pair rule.
+            session.forced_pmos.discard(pmo.pmo_id)
+            return {"outcome": "silent",
+                    "reason": "already force-detached by sweeper"}
+        decision = self.lib.runtime.detach(session.entity_id, pmo,
+                                           self.lib.clock_ns)
+        session.note_detach(pmo.pmo_id)
+        self.metrics.detaches += 1
+        return {"outcome": decision.outcome.value,
+                "reason": decision.reason}
+
+    # -- ops: heap + data --------------------------------------------------------
+
+    def _op_pmalloc(self, conn: _Conn, args: Dict) -> Dict:
+        pmo = self.lib.manager.lookup(str(args["name"]))
+        oid = self.lib.pmalloc(pmo, int(args["size"]))
+        return {"oid": oid.pack()}
+
+    def _op_pfree(self, conn: _Conn, args: Dict) -> Dict:
+        self.lib.pfree(Oid.unpack(int(args["oid"])))
+        return {"freed": True}
+
+    def _op_read(self, conn: _Conn, args: Dict) -> Dict:
+        session = conn.session
+        n = int(args["n"])
+        with self.lib.thread(session.entity_id):
+            data = self.lib.read(Oid.unpack(int(args["oid"])), n)
+        session.metrics.bytes_read += len(data)
+        return {"data": protocol.encode_bytes(data)}
+
+    def _op_write(self, conn: _Conn, args: Dict) -> Dict:
+        session = conn.session
+        data = protocol.decode_bytes(str(args["data"]))
+        with self.lib.thread(session.entity_id):
+            self.lib.write(Oid.unpack(int(args["oid"])), data)
+        session.metrics.bytes_written += len(data)
+        return {"n": len(data)}
+
+    def _op_read_u64(self, conn: _Conn, args: Dict) -> Dict:
+        with self.lib.thread(conn.session.entity_id):
+            value = self.lib.read_u64(Oid.unpack(int(args["oid"])))
+        conn.session.metrics.bytes_read += 8
+        return {"value": value}
+
+    def _op_write_u64(self, conn: _Conn, args: Dict) -> Dict:
+        with self.lib.thread(conn.session.entity_id):
+            self.lib.write_u64(Oid.unpack(int(args["oid"])),
+                               int(args["value"]))
+        conn.session.metrics.bytes_written += 8
+        return {"written": True}
+
+    def _op_psync(self, conn: _Conn, args: Dict) -> Dict:
+        pmo = self.lib.manager.lookup(str(args["name"]))
+        return {"flushed": self.lib.psync(pmo)}
+
+    def _op_tx_begin(self, conn: _Conn, args: Dict) -> Dict:
+        pmo = self.lib.manager.lookup(str(args["name"]))
+        return {"tx": pmo.begin_tx()}
+
+    def _op_tx_abort(self, conn: _Conn, args: Dict) -> Dict:
+        pmo = self.lib.manager.lookup(str(args["name"]))
+        pmo.abort_tx()
+        return {"aborted": True}
+
+
+class ServiceThread:
+    """Run a :class:`TerpService` on its own event loop in a thread.
+
+    The harness the example, the benchmark, and the tests share: the
+    caller's thread stays synchronous (driving
+    :class:`~repro.service.client.SyncTerpClient`s) while the daemon
+    serves from a background loop.
+    """
+
+    def __init__(self, service: TerpService) -> None:
+        self.service = service
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._started = threading.Event()
+        self._stop: Optional[asyncio.Event] = None
+        self._error: Optional[BaseException] = None
+
+    def start(self, timeout: float = 10.0) -> TerpService:
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="terpd")
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise TerpError("terpd thread failed to start in time")
+        if self._error is not None:
+            raise TerpError(f"terpd failed to start: {self._error}")
+        return self.service
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:   # surface to start()/stop()
+            self._error = exc
+            self._started.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        await self.service.start()
+        self._started.set()
+        await self._stop.wait()
+        await self.service.stop()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._thread is None:
+            return
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise TerpError("terpd thread did not stop in time")
+        self._thread = None
+
+    def __enter__(self) -> TerpService:
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

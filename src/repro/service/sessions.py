@@ -1,0 +1,135 @@
+"""Session bookkeeping: remote clients as TERP entities.
+
+Every connection that says ``hello`` gets a :class:`Session`.  The
+session's ``entity_id`` is what the shared :class:`~repro.core.runtime
+.TerpRuntime` sees as the "thread" making attach/detach calls — the
+paper's permission groups span threads, processes, and users
+(Definition 2), and a remote session is exactly such an entity: it
+holds thread-level permission grants in the MPK domains, its
+attach/detach pairs obey the EW-conscious no-overlap rule, and its
+exposure is swept like any local thread's.
+
+A session also carries its *exposure budget*: the wall-clock EW target
+after which the daemon's sweeper force-detaches anything the session
+still holds.  The budget is the server default unless the client
+negotiated a tighter one in ``hello`` (never a looser one — a tenant
+cannot opt out of temporal protection).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.core.errors import TerpError
+from repro.service.metrics import SessionMetrics
+
+
+@dataclass
+class Session:
+    """One connected client: identity, holdings, pending events."""
+
+    session_id: int
+    entity_id: int
+    user: str
+    ew_budget_ns: int
+    #: pmo_id -> attach timestamp (service clock, ns); the sweeper's
+    #: input for session-scoped exposure enforcement.
+    attached_at: Dict[int, int] = field(default_factory=dict)
+    #: out-of-band notifications delivered with the next response.
+    events: List[dict] = field(default_factory=list)
+    #: PMOs the sweeper detached on this session's behalf; the
+    #: session's own (racing) detach of these is a silent no-op.
+    forced_pmos: Set[int] = field(default_factory=set)
+    metrics: SessionMetrics = field(default_factory=SessionMetrics)
+    closed: bool = False
+
+    def note_attach(self, pmo_id: int, now_ns: int) -> None:
+        self.attached_at[pmo_id] = now_ns
+        self.forced_pmos.discard(pmo_id)
+        self.metrics.attaches += 1
+
+    def note_detach(self, pmo_id: int) -> None:
+        self.attached_at.pop(pmo_id, None)
+        self.metrics.detaches += 1
+
+    def note_forced_detach(self, pmo_id: int, pmo_name: str,
+                           now_ns: int, reason: str) -> None:
+        self.attached_at.pop(pmo_id, None)
+        self.forced_pmos.add(pmo_id)
+        self.metrics.forced_detaches += 1
+        self.events.append({
+            "event": "forced-detach",
+            "pmo": pmo_name,
+            "pmo_id": pmo_id,
+            "at_ns": now_ns,
+            "reason": reason,
+        })
+
+    def expired(self, now_ns: int) -> List[int]:
+        """PMO ids whose session exposure window has outlived the
+        budget — the sweeper force-detaches exactly these."""
+        return [pmo_id for pmo_id, since in self.attached_at.items()
+                if now_ns - since >= self.ew_budget_ns]
+
+    def drain_events(self) -> List[dict]:
+        events, self.events = self.events, []
+        return events
+
+
+class SessionRegistry:
+    """Allocates sessions and their entity ids; supports iteration.
+
+    Entity ids start above any plausible in-process thread id so a
+    hybrid embedding (local threads + remote sessions on one library)
+    cannot collide.
+    """
+
+    FIRST_ENTITY_ID = 1 << 20
+
+    def __init__(self, *, default_ew_budget_ns: int) -> None:
+        if default_ew_budget_ns <= 0:
+            raise TerpError("default_ew_budget_ns must be positive")
+        self.default_ew_budget_ns = default_ew_budget_ns
+        self._sessions: Dict[int, Session] = {}
+        self._next = itertools.count(1)
+
+    def create(self, *, user: str = "root",
+               ew_budget_ns: Optional[int] = None) -> Session:
+        sid = next(self._next)
+        budget = self.default_ew_budget_ns
+        if ew_budget_ns is not None:
+            if ew_budget_ns <= 0:
+                raise TerpError("session EW budget must be positive")
+            # Tenants may tighten their exposure budget, never widen it.
+            budget = min(budget, ew_budget_ns)
+        session = Session(session_id=sid,
+                          entity_id=self.FIRST_ENTITY_ID + sid,
+                          user=user, ew_budget_ns=budget)
+        self._sessions[sid] = session
+        return session
+
+    def get(self, session_id: int) -> Session:
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise TerpError(f"no session {session_id}")
+        return session
+
+    def remove(self, session_id: int) -> Optional[Session]:
+        session = self._sessions.pop(session_id, None)
+        if session is not None:
+            session.closed = True
+        return session
+
+    def by_entity(self, entity_id: int) -> Optional[Session]:
+        for session in self._sessions.values():
+            if session.entity_id == entity_id:
+                return session
+        return None
+
+    def __iter__(self) -> Iterator[Session]:
+        return iter(list(self._sessions.values()))
+
+    def __len__(self) -> int:
+        return len(self._sessions)

@@ -1,0 +1,17 @@
+"""Shared fixtures: a live terpd on an ephemeral TCP port."""
+
+import pytest
+
+from repro.service.server import ServiceThread, TerpService
+
+
+@pytest.fixture
+def terpd():
+    """A running daemon with test-friendly timing: generous session
+    budget (tests that need expiry build their own tighter service)."""
+    thread = ServiceThread(TerpService(port=0,
+                                       session_ew_ns=2_000_000_000,
+                                       sweep_period_ns=50_000_000))
+    service = thread.start()
+    yield service
+    thread.stop()
