@@ -1,0 +1,71 @@
+"""Compare a fresh BENCH_service.json against the committed baseline.
+
+CI's regression gate: after the bench job regenerates
+``BENCH_service.json``, this script fails (exit 1) if throughput fell
+more than ``--max-regression`` (default 20%) below the baseline
+committed at ``benchmarks/baselines/BENCH_service.json``.  Latency and
+exposure numbers are reported but not gated — they vary with runner
+class far more than saturation throughput does.
+
+Usage::
+
+    python benchmarks/compare_bench.py BASELINE CURRENT [--max-regression 0.20]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+SCHEMA = "terp-service-bench/1"
+
+
+def load(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        report = json.load(fh)
+    if report.get("schema") != SCHEMA:
+        raise SystemExit(
+            f"{path}: schema {report.get('schema')!r} != {SCHEMA!r} — "
+            "regenerate the baseline alongside schema changes")
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly generated JSON")
+    parser.add_argument("--max-regression", type=float, default=0.20,
+                        help="maximum tolerated relative drop in "
+                             "requests/s (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    base_rps = float(baseline["throughput"]["requests_per_s"])
+    cur_rps = float(current["throughput"]["requests_per_s"])
+    floor = base_rps * (1.0 - args.max_regression)
+
+    print(f"baseline requests/s : {base_rps:12.1f}")
+    print(f"current  requests/s : {cur_rps:12.1f}")
+    print(f"floor (-{args.max_regression:.0%})      : {floor:12.1f}")
+    for key in ("cycle_p50", "cycle_p99", "request_p50", "request_p99"):
+        base_v = baseline["latency_us"].get(key)
+        cur_v = current["latency_us"].get(key)
+        print(f"{key:20s}: baseline {base_v} us, current {cur_v} us")
+    print(f"forced detaches     : baseline "
+          f"{baseline['exposure']['forced_detaches']}, current "
+          f"{current['exposure']['forced_detaches']}")
+
+    if cur_rps < floor:
+        print(f"FAIL: requests/s regressed "
+              f"{100 * (1 - cur_rps / base_rps):.1f}% "
+              f"(> {args.max_regression:.0%} budget)")
+        return 1
+    print("OK: throughput within the regression budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

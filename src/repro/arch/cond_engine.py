@@ -31,7 +31,11 @@ partial-combining case of Figure 6c).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Hashable, List, Optional, Set, Tuple
+from typing import (
+    TYPE_CHECKING, Callable, Dict, Hashable, List, Optional, Set, Tuple)
+
+if TYPE_CHECKING:
+    from repro.obs.tracing import Tracer
 
 from repro.core.permissions import Access
 from repro.core.semantics import (
@@ -100,6 +104,10 @@ class TerpArchEngine(SemanticsEngine):
         #: threads whose open pairs were closed by force.
         self.on_forced_detach: Optional[
             Callable[[Hashable, Tuple[int, ...]], None]] = None
+        #: optional observability hook: when set (the terpd service
+        #: does), each sweep pass that does work is recorded as an
+        #: ``engine.sweep`` span nested under the caller's span.
+        self.tracer: Optional["Tracer"] = None
 
     def thread_has_open_pair(self, thread_id: int, pmo_id: Hashable) -> bool:
         return self._thread_open.get((thread_id, pmo_id), False)
@@ -264,6 +272,8 @@ class TerpArchEngine(SemanticsEngine):
         entries no thread holds, a RANDOMIZE for held entries (which
         also resets their attach timestamp).
         """
+        tracer = self.tracer
+        t0 = tracer.clock() if tracer is not None else 0
         self._last_sweep_ns = now_ns
         decisions: List[Decision] = []
         for entry in self.cb.sweep(now_ns, self.ew_target_ns):
@@ -282,6 +292,9 @@ class TerpArchEngine(SemanticsEngine):
                 decisions.append(Decision(Outcome.SILENT, [
                     Action(ActionKind.RANDOMIZE, entry.pmo_id),
                 ], reason="sweep: EW met, holders remain -> randomize"))
+        if tracer is not None and decisions:
+            tracer.record_since("engine.sweep", t0,
+                                decisions=len(decisions))
         return decisions
 
     def _force_detach(self, pmo_id: Hashable) -> None:

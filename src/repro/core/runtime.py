@@ -21,10 +21,13 @@ manual clock is fine; in the simulator the machine's clock drives it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Hashable, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.obs import Observability
 
 from repro.core.errors import ProtectionFault, SegmentationFault, TerpError
 from repro.core.events import EventKind, Trace, TraceEvent
@@ -97,7 +100,8 @@ class TerpRuntime:
                  monitor: Optional[ExposureMonitor] = None,
                  trace: Optional[Trace] = None,
                  rng: Optional[np.random.Generator] = None,
-                 strict: bool = False) -> None:
+                 strict: bool = False,
+                 obs: Optional["Observability"] = None) -> None:
         self.semantics = semantics
         self.manager = manager if manager is not None else PmoManager()
         self.space = space if space is not None else AddressSpace(
@@ -109,6 +113,17 @@ class TerpRuntime:
         self.strict = strict
         self.counters = RuntimeCounters()
         self._last_now = 0
+        # Observability is opt-in; the cached handles make the hot-path
+        # guard a single None check when it is off.
+        self.obs = obs
+        self._audit = (obs.audit if obs is not None and obs.enabled
+                       else None)
+        # Per-attach/detach spans are opt-in detail (obs.trace_runtime):
+        # the audit timeline already records those events, so the span
+        # stream only adds latency attribution when explicitly wanted.
+        self._tracer = (obs.tracer
+                        if obs is not None and obs.enabled
+                        and obs.trace_runtime else None)
 
     # -- clock discipline ---------------------------------------------------
 
@@ -128,6 +143,8 @@ class TerpRuntime:
     def attach(self, thread_id: int, pmo, access: Access,
                now_ns: int) -> "AttachResult":
         """The attach construct; returns the decision and a Handle."""
+        tracer = self._tracer
+        t0 = tracer.clock() if tracer is not None else 0
         self._advance(now_ns)
         self.counters.attach_calls += 1
         decision = self.semantics.attach(thread_id, pmo.pmo_id, access,
@@ -150,9 +167,27 @@ class TerpRuntime:
         mapping = self.space.mapping_of(pmo.pmo_id)
         handle = Handle(self, pmo, thread_id,
                         mapping.base_va if mapping else 0)
+        if self._audit is not None:
+            self._audit.record_attach(thread_id, pmo.pmo_id, pmo.name,
+                                      now_ns,
+                                      reason=decision.outcome.value)
+        if tracer is not None:
+            tracer.record_since("rt.attach", t0, pmo=pmo.name,
+                                entity=thread_id,
+                                outcome=decision.outcome.value)
         return AttachResult(decision, handle)
 
-    def detach(self, thread_id: int, pmo, now_ns: int) -> Decision:
+    def detach(self, thread_id: int, pmo, now_ns: int, *,
+               forced: bool = False, reason: str = "") -> Decision:
+        """The detach construct.
+
+        ``forced``/``reason`` only annotate the audit timeline: a
+        supervisor (the terpd sweeper) detaching on an entity's behalf
+        passes ``forced=True`` so the event is distinguishable from the
+        entity closing its own window.
+        """
+        tracer = self._tracer
+        t0 = tracer.clock() if tracer is not None else 0
         self._advance(now_ns)
         self.counters.detach_calls += 1
         decision = self.semantics.detach(thread_id, pmo.pmo_id, now_ns)
@@ -168,6 +203,14 @@ class TerpRuntime:
         else:
             self.counters.silent_detaches += 1
         self._apply(decision, pmo, now_ns)
+        if self._audit is not None:
+            self._audit.record_detach(
+                thread_id, pmo.pmo_id, pmo.name, now_ns, forced=forced,
+                reason=reason or decision.outcome.value)
+        if tracer is not None:
+            tracer.record_since("rt.detach", t0, pmo=pmo.name,
+                                entity=thread_id,
+                                outcome=decision.outcome.value)
         return decision
 
     def access(self, thread_id: int, pmo, offset: int, requested: Access,

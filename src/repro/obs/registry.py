@@ -1,0 +1,386 @@
+"""The metrics registry: counters, gauges, histograms.
+
+A zero-dependency, thread-safe instrument registry in the Prometheus
+mold.  Three instrument kinds:
+
+* :class:`Counter` — a monotonically increasing tally;
+* :class:`Gauge` — a value that can move both ways;
+* :class:`Histogram` — a fixed-bucket distribution *plus* a seeded
+  reservoir (:class:`Reservoir`), so it answers both the
+  bucket-cumulative questions Prometheus asks (``le`` series) and the
+  exact-percentile questions the paper's tables ask (p50/p99 over an
+  unbiased sample of the whole run).
+
+Instruments are created (or re-fetched — creation is idempotent)
+through a :class:`MetricsRegistry`, optionally labelled; the registry
+renders everything as a JSON-able dict (:meth:`MetricsRegistry.to_dict`)
+or in the Prometheus text exposition format
+(:meth:`MetricsRegistry.prometheus_text`).
+
+A registry built with ``enabled=False`` hands out shared null
+instruments whose mutators do nothing: the no-op mode instrumented
+code relies on to stay off the profile when observability is off.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+import threading
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.errors import TerpError
+
+#: label set in canonical (sorted, hashable) form
+LabelItems = Tuple[Tuple[str, str], ...]
+
+#: Default histogram buckets, in nanoseconds: 1us .. 1s, roughly
+#: logarithmic — sized for request/sweep latencies of a daemon whose
+#: exposure budgets live in the 1ms..1s decades.
+DEFAULT_BUCKETS_NS: Tuple[int, ...] = (
+    1_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 2_500_000, 5_000_000, 10_000_000, 25_000_000,
+    50_000_000, 100_000_000, 250_000_000, 500_000_000, 1_000_000_000,
+)
+
+
+def _canon_labels(labels: Optional[Mapping[str, str]]) -> LabelItems:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _series_name(name: str, labels: LabelItems) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Reservoir:
+    """A bounded uniform sample of an unbounded population.
+
+    The first ``capacity`` values are kept verbatim; after that each
+    new value overwrites a uniformly-random slot with probability
+    ``capacity / count`` (Vitter's Algorithm R), so the retained set
+    stays an unbiased sample of everything ever recorded.  The RNG is
+    seeded, making two reservoirs fed the same sequence bit-identical —
+    percentiles are reproducible run to run.
+    """
+
+    def __init__(self, capacity: int = 8192, *, seed: int = 2022) -> None:
+        if capacity <= 0:
+            raise TerpError("reservoir capacity must be positive")
+        self.capacity = capacity
+        self.count = 0
+        self.total = 0
+        self.max_value = 0
+        self._samples: List[int] = []
+        self._rng = random.Random(seed)
+
+    def record(self, value: int) -> None:
+        self.count += 1
+        self.total += value
+        if value > self.max_value:
+            self.max_value = value
+        if len(self._samples) < self.capacity:
+            self._samples.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.capacity:
+                self._samples[slot] = value
+
+    def percentile(self, p: float) -> Optional[int]:
+        """The p-th percentile (0..100) of the sampled population."""
+        if not self._samples:
+            return None
+        if not 0 <= p <= 100:
+            raise TerpError("percentile must be within [0, 100]")
+        ordered = sorted(self._samples)
+        index = min(len(ordered) - 1,
+                    max(0, round(p / 100.0 * (len(ordered) - 1))))
+        return ordered[index]
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def samples(self) -> List[int]:
+        return list(self._samples)
+
+
+class Instrument:
+    """Common identity for every registry-held instrument."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str,
+                 labels: LabelItems) -> None:
+        self.name = name
+        self.help_text = help_text
+        self.labels = labels
+
+    @property
+    def series(self) -> str:
+        return _series_name(self.name, self.labels)
+
+
+class Counter(Instrument):
+    """A monotonically increasing tally."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str = "",
+                 labels: LabelItems = ()) -> None:
+        super().__init__(name, help_text, labels)
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise TerpError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge(Instrument):
+    """A value free to move in both directions."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str = "",
+                 labels: LabelItems = ()) -> None:
+        super().__init__(name, help_text, labels)
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram(Instrument):
+    """Fixed buckets for exposition, a reservoir for percentiles.
+
+    ``buckets`` are ascending upper bounds; an implicit ``+Inf``
+    bucket catches the tail.  ``observe`` is O(log buckets) plus one
+    reservoir update.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str = "",
+                 labels: LabelItems = (), *,
+                 buckets: Sequence[int] = DEFAULT_BUCKETS_NS,
+                 reservoir_capacity: int = 4096,
+                 seed: int = 2022) -> None:
+        super().__init__(name, help_text, labels)
+        bounds = tuple(buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise TerpError("histogram buckets must be ascending "
+                            "and non-empty")
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)   # last slot = +Inf
+        self.count = 0
+        self.total = 0
+        self.max_value = 0
+        self.reservoir = Reservoir(reservoir_capacity, seed=seed)
+        self._lock = threading.Lock()
+
+    def observe(self, value: int) -> None:
+        index = bisect.bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self.count += 1
+            self.total += value
+            if value > self.max_value:
+                self.max_value = value
+            self.reservoir.record(value)
+
+    def percentile(self, p: float) -> Optional[int]:
+        with self._lock:
+            return self.reservoir.percentile(p)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def bucket_counts(self) -> List[Tuple[str, int]]:
+        """Cumulative counts per upper bound, Prometheus-style."""
+        out: List[Tuple[str, int]] = []
+        running = 0
+        with self._lock:
+            for bound, n in zip(self.bounds, self._counts):
+                running += n
+                out.append((str(bound), running))
+            out.append(("+Inf", self.count))
+        return out
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "max": self.max_value,
+            "p50": self.percentile(50) or 0,
+            "p90": self.percentile(90) or 0,
+            "p99": self.percentile(99) or 0,
+            "buckets": {le: n for le, n in self.bucket_counts()},
+        }
+
+
+class _NullCounter(Counter):
+    def inc(self, amount: int = 1) -> None:    # noqa: ARG002
+        pass
+
+
+class _NullGauge(Gauge):
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    def observe(self, value: int) -> None:
+        pass
+
+
+#: Shared do-nothing instruments, handed out by disabled registries.
+NULL_COUNTER = _NullCounter("null")
+NULL_GAUGE = _NullGauge("null")
+NULL_HISTOGRAM = _NullHistogram("null")
+
+
+class MetricsRegistry:
+    """Creates, deduplicates, and renders instruments.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: asking twice
+    for the same (name, labels) returns the same object; asking for an
+    existing name with a different kind is an error.  When the registry
+    is disabled, the same calls return shared null instruments and the
+    registry renders empty.
+    """
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._instruments: Dict[Tuple[str, LabelItems], Instrument] = {}
+        self._lock = threading.Lock()
+
+    # -- creation ---------------------------------------------------------
+
+    def _get_or_create(self, cls, name: str, help_text: str,
+                       labels: Optional[Mapping[str, str]],
+                       **kwargs) -> Instrument:
+        key = (name, _canon_labels(labels))
+        with self._lock:
+            existing = self._instruments.get(key)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise TerpError(
+                        f"instrument {name!r} already registered as "
+                        f"{existing.kind}")
+                return existing
+            instrument = cls(name, help_text, key[1], **kwargs)
+            self._instruments[key] = instrument
+            return instrument
+
+    def counter(self, name: str, help_text: str = "",
+                labels: Optional[Mapping[str, str]] = None) -> Counter:
+        if not self.enabled:
+            return NULL_COUNTER
+        out = self._get_or_create(Counter, name, help_text, labels)
+        assert isinstance(out, Counter)
+        return out
+
+    def gauge(self, name: str, help_text: str = "",
+              labels: Optional[Mapping[str, str]] = None) -> Gauge:
+        if not self.enabled:
+            return NULL_GAUGE
+        out = self._get_or_create(Gauge, name, help_text, labels)
+        assert isinstance(out, Gauge)
+        return out
+
+    def histogram(self, name: str, help_text: str = "",
+                  labels: Optional[Mapping[str, str]] = None, *,
+                  buckets: Sequence[int] = DEFAULT_BUCKETS_NS,
+                  reservoir_capacity: int = 4096,
+                  seed: int = 2022) -> Histogram:
+        if not self.enabled:
+            return NULL_HISTOGRAM
+        out = self._get_or_create(
+            Histogram, name, help_text, labels, buckets=buckets,
+            reservoir_capacity=reservoir_capacity, seed=seed)
+        assert isinstance(out, Histogram)
+        return out
+
+    # -- rendering --------------------------------------------------------
+
+    def instruments(self) -> List[Instrument]:
+        with self._lock:
+            return sorted(self._instruments.values(),
+                          key=lambda i: (i.name, i.labels))
+
+    def to_dict(self) -> Dict[str, object]:
+        """Everything the registry knows, as one JSON-able document."""
+        counters: Dict[str, object] = {}
+        gauges: Dict[str, object] = {}
+        histograms: Dict[str, object] = {}
+        for inst in self.instruments():
+            if isinstance(inst, Histogram):
+                histograms[inst.series] = inst.to_dict()
+            elif isinstance(inst, Counter):
+                counters[inst.series] = inst.value
+            elif isinstance(inst, Gauge):
+                gauges[inst.series] = inst.value
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+    def prometheus_text(self) -> str:
+        """The text exposition format, one family at a time."""
+        lines: List[str] = []
+        seen_header = set()
+        for inst in self.instruments():
+            if inst.name not in seen_header:
+                seen_header.add(inst.name)
+                if inst.help_text:
+                    lines.append(f"# HELP {inst.name} {inst.help_text}")
+                lines.append(f"# TYPE {inst.name} {inst.kind}")
+            if isinstance(inst, Histogram):
+                for le, cumulative in inst.bucket_counts():
+                    labels = inst.labels + (("le", le),)
+                    lines.append(
+                        f"{_series_name(inst.name + '_bucket', labels)}"
+                        f" {cumulative}")
+                lines.append(
+                    f"{_series_name(inst.name + '_sum', inst.labels)}"
+                    f" {inst.total}")
+                lines.append(
+                    f"{_series_name(inst.name + '_count', inst.labels)}"
+                    f" {inst.count}")
+            else:
+                value = inst.value if isinstance(
+                    inst, (Counter, Gauge)) else 0
+                lines.append(f"{inst.series} {value}")
+        return "\n".join(lines) + ("\n" if lines else "")

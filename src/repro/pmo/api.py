@@ -17,9 +17,12 @@ from __future__ import annotations
 import contextlib
 import struct
 import threading
-from typing import Iterator, Optional
+from typing import TYPE_CHECKING, Iterator, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.obs import Observability
 
 from repro.core.errors import PmoError, TerpError
 from repro.core.permissions import Access
@@ -36,11 +39,16 @@ class PmoLibrary:
 
     def __init__(self, *, semantics: Optional[SemanticsEngine] = None,
                  ew_target_us: float = 40.0, seed: int = 2022,
-                 strict: bool = True) -> None:
+                 strict: bool = True,
+                 obs: Optional["Observability"] = None) -> None:
         if semantics is None:
             semantics = EwConsciousSemantics(us(ew_target_us))
         self.runtime = TerpRuntime(
-            semantics, rng=np.random.default_rng(seed), strict=strict)
+            semantics, rng=np.random.default_rng(seed), strict=strict,
+            obs=obs)
+        self.obs = obs
+        self._tracer = (obs.tracer if obs is not None and obs.enabled
+                        else None)
         self.clock_ns = 0
         self._thread_id = 0
         #: Re-entrancy guard for multi-threaded embeddings (the terpd
@@ -172,12 +180,17 @@ class PmoLibrary:
         store path is write-through and this is a (valid) no-op.
         Returns the number of writes made durable.
         """
+        tracer = self._tracer
+        t0 = tracer.clock() if tracer is not None else 0
         with self.lock:
             if not pmo.log.in_transaction:
                 return 0
             pending = len(pmo.log.pending_writes)
             pmo.commit_tx()
-            return pending
+        if tracer is not None:
+            tracer.record_since("lib.psync", t0, pmo=pmo.name,
+                                flushed=pending)
+        return pending
 
     # -- guarded data access -------------------------------------------------
 

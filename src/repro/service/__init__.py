@@ -15,9 +15,16 @@ Modules:
 
 ``protocol``   the wire format (framing, requests, responses, errors)
 ``sessions``   session registry and session -> entity mapping
-``metrics``    per-session and global counters + latency percentiles
+``metrics``    per-session and global series, registry-backed
 ``server``     the asyncio daemon (``TerpService``) and thread harness
 ``client``     asyncio and blocking clients with pipelining support
+
+Observability lives in :mod:`repro.obs`: the daemon's counters and
+latency histograms are instruments in a
+:class:`~repro.obs.registry.MetricsRegistry` (JSON dump via
+``--metrics-dump``, Prometheus text via the ``prometheus`` op), every
+request and sweep is traced, and the exposure-window audit timeline
+(``trace`` op) records who held which PMO for how long.
 
 Run the daemon with ``python -m repro.service``.
 """

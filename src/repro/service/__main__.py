@@ -57,6 +57,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=2022,
                         help="layout-randomization seed (default: "
                              "%(default)s)")
+    parser.add_argument("--metrics-dump", metavar="PATH", default=None,
+                        help="on shutdown, write the full observability "
+                             "dump (metrics registry JSON, exposure "
+                             "audit summary, trace stats) to PATH; "
+                             "'-' writes to stdout")
+    parser.add_argument("--no-obs", action="store_true",
+                        help="run with observability in no-op mode "
+                             "(every recorder short-circuits; the "
+                             "overhead-measurement baseline)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress startup/shutdown chatter")
     return parser
@@ -71,7 +80,8 @@ def make_service(args: argparse.Namespace) -> TerpService:
         session_ew_ns=int(args.session_ew_ms * 1e6),
         sweep_period_ns=max(1, int(args.sweep_period_ms * 1e6)),
         cb_capacity=args.cb_capacity,
-        seed=args.seed)
+        seed=args.seed,
+        obs_enabled=not args.no_obs)
 
 
 async def _amain(args: argparse.Namespace) -> int:
@@ -97,6 +107,15 @@ async def _amain(args: argparse.Namespace) -> int:
         await stop.wait()
     finally:
         await service.stop()
+        if args.metrics_dump:
+            dump = json.dumps(service.dump_observability(), indent=2,
+                              default=str)
+            if args.metrics_dump == "-":
+                print(dump, flush=True)
+            else:
+                with open(args.metrics_dump, "w",
+                          encoding="utf-8") as fh:
+                    fh.write(dump + "\n")
         if not args.quiet:
             print("terpd final metrics:", flush=True)
             print(json.dumps(service.metrics.to_dict(), indent=2),

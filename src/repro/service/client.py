@@ -228,6 +228,24 @@ class SyncTerpClient(_ClientCore):
     def metrics(self) -> Dict:
         return self.call("metrics")
 
+    def trace(self, limit: int = 100, *,
+              pmo: Optional[str] = None,
+              kind: Optional[str] = None,
+              name: Optional[str] = None) -> Dict:
+        """Recent spans + exposure audit events, optionally filtered."""
+        args: Dict[str, Any] = {"limit": limit}
+        if pmo is not None:
+            args["pmo"] = pmo
+        if kind is not None:
+            args["kind"] = kind
+        if name is not None:
+            args["name"] = name
+        return self.call("trace", **args)
+
+    def prometheus(self) -> str:
+        """The daemon's registry in Prometheus text exposition."""
+        return self.call("prometheus")["text"]
+
     def ping(self) -> Dict:
         return self.call("ping")
 
@@ -370,6 +388,12 @@ class TerpClient(_ClientCore):
 
     async def metrics(self) -> Dict:
         return await self.call("metrics")
+
+    async def trace(self, limit: int = 100) -> Dict:
+        return await self.call("trace", limit=limit)
+
+    async def prometheus(self) -> str:
+        return (await self.call("prometheus"))["text"]
 
     async def goodbye(self) -> Dict:
         return await self.call("goodbye")

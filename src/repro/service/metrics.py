@@ -1,76 +1,74 @@
-"""Service observability: counters and latency percentiles.
+"""Service observability: registry-backed counters and latencies.
 
 Two granularities, mirroring what an operator of a multi-tenant PMO
 daemon needs:
 
-* :class:`ServiceMetrics` — daemon-wide: request totals per op,
-  attach/forced-detach tallies, sweep runs and sweep latency, request
-  latency percentiles (p50/p99).
+* :class:`ServiceMetrics` — daemon-wide, every series living in a
+  :class:`~repro.obs.registry.MetricsRegistry` (so the same numbers
+  are available as the ``metrics`` op's JSON payload, the
+  ``--metrics-dump`` document, and Prometheus text exposition):
+  request totals per op, attach/forced-detach tallies, sweep runs, and
+  request/sweep latency histograms with reservoir percentiles.
 * :class:`SessionMetrics` — per session: request count, bytes moved,
-  attaches, forced detaches, errors.
+  attaches, forced detaches, errors.  Deliberately plain counters —
+  sessions are ephemeral and numerous, so they stay out of the
+  registry's long-lived series namespace.
 
-Latency percentiles come from a bounded reservoir
-(:class:`LatencyRecorder`): the first ``capacity`` samples are kept
-verbatim; after that, samples overwrite uniformly-random slots so the
-reservoir stays an unbiased sample of the whole run without unbounded
-memory.
+:class:`LatencyRecorder` is the historical name of the seeded
+reservoir now provided by :class:`repro.obs.registry.Reservoir`; it
+remains as a thin subclass with nanosecond-flavoured accessors.
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.obs.registry import (
+    Counter, Histogram, MetricsRegistry, Reservoir)
+
+#: Request/sweep latency buckets (ns): 1us .. 1s.
+LATENCY_BUCKETS_NS = (
+    1_000, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 5_000_000, 10_000_000, 50_000_000, 100_000_000,
+    500_000_000, 1_000_000_000,
+)
 
 
-class LatencyRecorder:
+class LatencyRecorder(Reservoir):
     """Reservoir-sampled latency population with percentile queries."""
 
-    def __init__(self, capacity: int = 8192, *, seed: int = 2022) -> None:
-        if capacity <= 0:
-            raise ValueError("capacity must be positive")
-        self.capacity = capacity
-        self.count = 0
-        self.total_ns = 0
-        self.max_ns = 0
-        self._samples: List[int] = []
-        self._rng = random.Random(seed)
+    @property
+    def total_ns(self) -> int:
+        return self.total
 
-    def record(self, latency_ns: int) -> None:
-        self.count += 1
-        self.total_ns += latency_ns
-        if latency_ns > self.max_ns:
-            self.max_ns = latency_ns
-        if len(self._samples) < self.capacity:
-            self._samples.append(latency_ns)
-        else:
-            slot = self._rng.randrange(self.count)
-            if slot < self.capacity:
-                self._samples[slot] = latency_ns
-
-    def percentile(self, p: float) -> Optional[int]:
-        """The p-th percentile (0..100) of the sampled population."""
-        if not self._samples:
-            return None
-        if not 0 <= p <= 100:
-            raise ValueError("percentile must be within [0, 100]")
-        ordered = sorted(self._samples)
-        index = min(len(ordered) - 1,
-                    max(0, round(p / 100.0 * (len(ordered) - 1))))
-        return ordered[index]
+    @property
+    def max_ns(self) -> int:
+        return self.max_value
 
     @property
     def mean_ns(self) -> float:
-        return self.total_ns / self.count if self.count else 0.0
+        return self.mean
 
     def to_dict(self) -> Dict[str, float]:
         return {
             "count": self.count,
-            "mean_us": self.mean_ns / 1e3,
+            "mean_us": self.mean / 1e3,
             "p50_us": (self.percentile(50) or 0) / 1e3,
             "p99_us": (self.percentile(99) or 0) / 1e3,
-            "max_us": self.max_ns / 1e3,
+            "max_us": self.max_value / 1e3,
         }
+
+
+def _histogram_latency_dict(hist: Histogram) -> Dict[str, float]:
+    """A histogram's latency summary in the wire-report shape (us)."""
+    return {
+        "count": hist.count,
+        "mean_us": hist.mean / 1e3,
+        "p50_us": (hist.percentile(50) or 0) / 1e3,
+        "p99_us": (hist.percentile(99) or 0) / 1e3,
+        "max_us": hist.max_value / 1e3,
+    }
 
 
 @dataclass
@@ -97,37 +95,138 @@ class SessionMetrics:
         }
 
 
-@dataclass
 class ServiceMetrics:
-    """Daemon-wide counters, the ``metrics`` op's payload."""
+    """Daemon-wide series, the ``metrics`` op's payload.
 
-    requests: int = 0
-    errors: int = 0
-    batches: int = 0
-    sessions_opened: int = 0
-    sessions_closed: int = 0
-    attaches: int = 0
-    detaches: int = 0
-    forced_detaches: int = 0
-    disconnect_detaches: int = 0
-    sweep_runs: int = 0
-    ops: Dict[str, int] = field(default_factory=dict)
-    request_latency: LatencyRecorder = field(
-        default_factory=lambda: LatencyRecorder(seed=7))
-    sweep_latency: LatencyRecorder = field(
-        default_factory=lambda: LatencyRecorder(capacity=2048, seed=11))
+    Every counter and histogram is an instrument in ``registry``;
+    the attribute-style accessors (``metrics.requests`` …) read the
+    live registry values, and ``to_dict()`` keeps the wire shape the
+    clients, tests, and the throughput bench already consume.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None
+                 ) -> None:
+        self.registry = (registry if registry is not None
+                         else MetricsRegistry())
+        reg = self.registry
+        self._requests = reg.counter(
+            "terpd_requests_total", "requests dispatched")
+        self._errors = reg.counter(
+            "terpd_request_errors_total", "requests answered with an "
+            "error")
+        self._batches = reg.counter(
+            "terpd_batches_total", "array frames received")
+        self._sessions_opened = reg.counter(
+            "terpd_sessions_opened_total", "sessions bound by hello")
+        self._sessions_closed = reg.counter(
+            "terpd_sessions_closed_total", "sessions ended")
+        self._attaches = reg.counter(
+            "terpd_attaches_total", "successful attach ops")
+        self._detaches = reg.counter(
+            "terpd_detaches_total", "successful detach ops")
+        self._forced_detaches = reg.counter(
+            "terpd_forced_detaches_total", "windows closed by the "
+            "sweeper or the arch engine on a session's behalf")
+        self._disconnect_detaches = reg.counter(
+            "terpd_disconnect_detaches_total", "holdings released on "
+            "connection teardown")
+        self._sweep_runs = reg.counter(
+            "terpd_sweep_runs_total", "sweeper passes")
+        self._op_counters: Dict[str, Counter] = {}
+        self.request_latency = reg.histogram(
+            "terpd_request_latency_ns", "request service time",
+            buckets=LATENCY_BUCKETS_NS, reservoir_capacity=8192, seed=7)
+        self.sweep_latency = reg.histogram(
+            "terpd_sweep_latency_ns", "sweeper pass duration",
+            buckets=LATENCY_BUCKETS_NS, reservoir_capacity=2048,
+            seed=11)
+
+    # -- write side -------------------------------------------------------
 
     def note_request(self, op: str, latency_ns: int, *,
                      ok: bool) -> None:
-        self.requests += 1
+        self._requests.inc()
         if not ok:
-            self.errors += 1
-        self.ops[op] = self.ops.get(op, 0) + 1
-        self.request_latency.record(latency_ns)
+            self._errors.inc()
+        counter = self._op_counters.get(op)
+        if counter is None:
+            counter = self.registry.counter(
+                "terpd_op_total", "requests per op", labels={"op": op})
+            self._op_counters[op] = counter
+        counter.inc()
+        self.request_latency.observe(latency_ns)
 
     def note_sweep(self, latency_ns: int) -> None:
-        self.sweep_runs += 1
-        self.sweep_latency.record(latency_ns)
+        self._sweep_runs.inc()
+        self.sweep_latency.observe(latency_ns)
+
+    def note_batch(self) -> None:
+        self._batches.inc()
+
+    def note_session_opened(self) -> None:
+        self._sessions_opened.inc()
+
+    def note_session_closed(self) -> None:
+        self._sessions_closed.inc()
+
+    def note_attach(self) -> None:
+        self._attaches.inc()
+
+    def note_detach(self) -> None:
+        self._detaches.inc()
+
+    def note_forced_detach(self) -> None:
+        self._forced_detaches.inc()
+
+    def note_disconnect_detach(self) -> None:
+        self._disconnect_detaches.inc()
+
+    # -- read side --------------------------------------------------------
+
+    @property
+    def requests(self) -> int:
+        return self._requests.value
+
+    @property
+    def errors(self) -> int:
+        return self._errors.value
+
+    @property
+    def batches(self) -> int:
+        return self._batches.value
+
+    @property
+    def sessions_opened(self) -> int:
+        return self._sessions_opened.value
+
+    @property
+    def sessions_closed(self) -> int:
+        return self._sessions_closed.value
+
+    @property
+    def attaches(self) -> int:
+        return self._attaches.value
+
+    @property
+    def detaches(self) -> int:
+        return self._detaches.value
+
+    @property
+    def forced_detaches(self) -> int:
+        return self._forced_detaches.value
+
+    @property
+    def disconnect_detaches(self) -> int:
+        return self._disconnect_detaches.value
+
+    @property
+    def sweep_runs(self) -> int:
+        return self._sweep_runs.value
+
+    @property
+    def ops(self) -> Dict[str, int]:
+        return {op: counter.value
+                for op, counter in self._op_counters.items()}
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -141,7 +240,9 @@ class ServiceMetrics:
             "forced_detaches": self.forced_detaches,
             "disconnect_detaches": self.disconnect_detaches,
             "sweep_runs": self.sweep_runs,
-            "ops": dict(self.ops),
-            "request_latency": self.request_latency.to_dict(),
-            "sweep_latency": self.sweep_latency.to_dict(),
+            "ops": self.ops,
+            "request_latency": _histogram_latency_dict(
+                self.request_latency),
+            "sweep_latency": _histogram_latency_dict(
+                self.sweep_latency),
         }

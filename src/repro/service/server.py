@@ -36,6 +36,8 @@ from repro.arch.cond_engine import TerpArchEngine
 from repro.core.errors import PmoError, TerpError
 from repro.mem.mpk import NUM_KEYS
 from repro.core.permissions import Access
+from repro.obs import Observability
+from repro.obs.tracing import NULL_SPAN
 from repro.pmo.api import PmoLibrary
 from repro.pmo.object_id import Oid
 from repro.pmo.pool import mode_allows
@@ -73,13 +75,22 @@ class TerpService:
                  session_ew_ns: int = DEFAULT_SESSION_EW_NS,
                  sweep_period_ns: int = DEFAULT_SWEEP_PERIOD_NS,
                  cb_capacity: int = 32,
-                 seed: int = 2022) -> None:
+                 seed: int = 2022,
+                 obs: Optional[Observability] = None,
+                 obs_enabled: bool = True) -> None:
         if port is None and unix_path is None:
             raise TerpError("need a TCP port and/or a unix socket path")
         self.host = host
         self.port = port
         self.unix_path = unix_path
         self.sweep_period_ns = sweep_period_ns
+        #: The observability switchboard: metrics registry + tracer +
+        #: exposure audit timeline, shared with the library and the
+        #: runtime.  ``obs_enabled=False`` runs the daemon in the
+        #: measured no-op mode (every recorder short-circuits).
+        self.obs = obs if obs is not None else Observability(
+            enabled=obs_enabled)
+        self._tracer = self.obs.tracer if self.obs.enabled else None
         # Bound mapped PMOs by the MPK key pool as well as the CB:
         # the 16th simultaneous mapping must evict, not exhaust keys.
         engine = TerpArchEngine(int(ew_target_us * 1_000),
@@ -87,11 +98,15 @@ class TerpService:
                                 domain_capacity=NUM_KEYS - 1,
                                 sweep_period_ns=sweep_period_ns)
         engine.on_forced_detach = self._on_engine_forced_detach
+        engine.tracer = self._tracer
         self.engine = engine
-        self.lib = PmoLibrary(semantics=engine, seed=seed, strict=True)
+        self.lib = PmoLibrary(semantics=engine, seed=seed, strict=True,
+                              obs=self.obs)
         self.registry = SessionRegistry(
             default_ew_budget_ns=session_ew_ns)
-        self.metrics = ServiceMetrics()
+        self.metrics = ServiceMetrics(self.obs.registry)
+        self._sessions_gauge = self.obs.registry.gauge(
+            "terpd_sessions", "currently bound sessions")
         self._t0 = time.monotonic_ns()
         self._servers: List[asyncio.AbstractServer] = []
         self._sweeper: Optional[asyncio.Task] = None
@@ -118,9 +133,15 @@ class TerpService:
             "psync": self._op_psync,
             "tx_begin": self._op_tx_begin,
             "tx_abort": self._op_tx_abort,
+            "trace": self._op_trace,
+            "prometheus": self._op_prometheus,
         }
-        #: ops allowed before hello binds a session
-        self._sessionless = {"hello", "ping", "metrics"}
+        #: per-op span names, precomputed off the hot path
+        self._span_names = {op: f"terpd.{op}" for op in self._handlers}
+        #: ops allowed before hello binds a session (observability
+        #: reads included: a scraper needs no entity identity)
+        self._sessionless = {"hello", "ping", "metrics", "trace",
+                             "prometheus"}
 
     # -- clock ---------------------------------------------------------------
 
@@ -189,14 +210,23 @@ class TerpService:
         session-budget enforcement, then the engine's own sweep.
         """
         t_wall = time.perf_counter_ns()
+        tracer = self._tracer
         forced = 0
         with self.lib.lock:
             now = self.lib.advance_to(self.now_ns())
-            for session in self.registry:
-                for pmo_id in session.expired(now):
-                    self._force_detach_session(session, pmo_id, now)
-                    forced += 1
-            self.lib.runtime.sweep(now)
+            with (tracer.span("terpd.sweep") if tracer is not None
+                  else NULL_SPAN) as span:
+                for session in self.registry:
+                    for pmo_id in session.expired(now):
+                        self._force_detach_session(session, pmo_id, now)
+                        forced += 1
+                engine_closed = len(self.lib.runtime.sweep(now))
+                span.set("forced", forced)
+                span.set("engine_closed", engine_closed)
+            if self.obs.enabled and (forced or engine_closed):
+                self.obs.audit.record_sweep(
+                    now, closed=forced + engine_closed,
+                    duration_ns=time.perf_counter_ns() - t_wall)
         self.metrics.note_sweep(time.perf_counter_ns() - t_wall)
         return forced
 
@@ -205,14 +235,16 @@ class TerpService:
         """Detach one expired holding on the session's behalf."""
         pmo = self.lib.manager.get(pmo_id)
         try:
-            self.lib.runtime.detach(session.entity_id, pmo, now_ns)
+            self.lib.runtime.detach(session.entity_id, pmo, now_ns,
+                                    forced=True,
+                                    reason="session EW budget elapsed")
         except TerpError:
             # The pair may already be gone (engine eviction raced us);
             # enforcement is idempotent.
             pass
         session.note_forced_detach(pmo_id, pmo.name, now_ns,
                                    "session EW budget elapsed")
-        self.metrics.forced_detaches += 1
+        self.metrics.note_forced_detach()
 
     def _release_session(self, session: Session, now_ns: int, *,
                          reason: str) -> int:
@@ -222,7 +254,7 @@ class TerpService:
         for pmo_id, _ in released:
             session.note_detach(pmo_id)
             if reason == "disconnect":
-                self.metrics.disconnect_detaches += 1
+                self.metrics.note_disconnect_detach()
         session.attached_at.clear()
         return len(released)
 
@@ -235,11 +267,15 @@ class TerpService:
             name = str(pmo_id)
         now = self.lib.clock_ns
         for thread_id in thread_ids:
+            if self.obs.enabled:
+                self.obs.audit.record_detach(
+                    thread_id, pmo_id, name, now, forced=True,
+                    reason="arch engine forced detach")
             session = self.registry.by_entity(thread_id)
             if session is not None:
                 session.note_forced_detach(pmo_id, name, now,
                                            "arch engine forced detach")
-                self.metrics.forced_detaches += 1
+                self.metrics.note_forced_detach()
 
     # -- connection handling ---------------------------------------------------
 
@@ -255,7 +291,7 @@ class TerpService:
                 if payload is None:
                     break
                 if isinstance(payload, list):
-                    self.metrics.batches += 1
+                    self.metrics.note_batch()
                     response: Any = [self._dispatch(conn, one)
                                      for one in payload]
                 else:
@@ -271,7 +307,8 @@ class TerpService:
                     self._release_session(conn.session, now,
                                           reason="disconnect")
                 self.registry.remove(conn.session.session_id)
-                self.metrics.sessions_closed += 1
+                self.metrics.note_session_closed()
+                self._sessions_gauge.set(len(self.registry))
             writer.close()
             try:
                 await writer.wait_closed()
@@ -314,8 +351,11 @@ class TerpService:
                                       f"malformed arguments: {exc!r}")
             ok = False
         latency = time.perf_counter_ns() - t0
-        self.metrics.note_request(op if isinstance(op, str) else "?",
-                                  latency, ok=ok)
+        op_name = op if isinstance(op, str) else "?"
+        self.metrics.note_request(op_name, latency, ok=ok)
+        if self._tracer is not None:
+            self._tracer.record_since(
+                self._span_names.get(op_name, "terpd.?"), t0, ok=ok)
         if session is not None:
             session.metrics.requests += 1
             if not ok:
@@ -337,7 +377,8 @@ class TerpService:
         session = self.registry.create(
             user=str(args.get("user", "root")), ew_budget_ns=budget_ns)
         conn.session = session
-        self.metrics.sessions_opened += 1
+        self.metrics.note_session_opened()
+        self._sessions_gauge.set(len(self.registry))
         return {"session": session.session_id,
                 "entity": session.entity_id,
                 "version": PROTOCOL_VERSION,
@@ -345,10 +386,12 @@ class TerpService:
 
     def _op_goodbye(self, conn: _Conn, args: Dict) -> Dict:
         session = conn.session
+        assert session is not None
         released = self._release_session(session, self.lib.clock_ns,
                                          reason="goodbye")
         self.registry.remove(session.session_id)
-        self.metrics.sessions_closed += 1
+        self.metrics.note_session_closed()
+        self._sessions_gauge.set(len(self.registry))
         return {"released": released}
 
     def _op_ping(self, conn: _Conn, args: Dict) -> Dict:
@@ -380,10 +423,53 @@ class TerpService:
                 "sweep_detaches": self.engine.cases.sweep_detaches,
                 "sweep_randomizes": self.engine.cases.sweep_randomizes,
             },
+            "audit": self.obs.audit.summary(),
+            "trace": self.obs.tracer.stats(),
         }
         if conn.session is not None:
             out["session"] = conn.session.metrics.to_dict()
         return out
+
+    def _op_trace(self, conn: _Conn, args: Dict) -> Dict:
+        """Observability read: recent spans + audit timeline events."""
+        limit = int(args.get("limit", 100))
+        pmo = args.get("pmo")
+        kind = args.get("kind")
+        name = args.get("name")
+        return {
+            "spans": self.obs.tracer.recent(
+                limit=limit, name=str(name) if name is not None
+                else None),
+            "audit": self.obs.audit.events(
+                pmo=pmo, kind=str(kind) if kind is not None else None,
+                limit=limit),
+            "open_windows": self.obs.audit.open_windows(
+                self.lib.clock_ns),
+        }
+
+    def _op_prometheus(self, conn: _Conn, args: Dict) -> Dict:
+        """The registry in Prometheus text exposition format."""
+        return {"text": self.obs.registry.prometheus_text()}
+
+    # -- observability dump ----------------------------------------------------
+
+    def dump_observability(self) -> Dict:
+        """The full registry/audit/trace state as one document —
+        the payload of ``--metrics-dump`` and of embedders that want
+        everything at once."""
+        counters = self.lib.runtime.counters
+        return self.obs.dump(extra={
+            "service": self.metrics.to_dict(),
+            "sessions": len(self.registry),
+            "runtime": {
+                "attach_calls": counters.attach_calls,
+                "detach_calls": counters.detach_calls,
+                "silent_percent": counters.silent_percent,
+                "randomizations": counters.randomizations,
+                "faults": counters.faults,
+                "accesses": counters.accesses,
+            },
+        })
 
     # -- ops: namespace --------------------------------------------------------
 
@@ -435,7 +521,7 @@ class TerpService:
         if not result.ok:
             raise PmoError(f"attach failed: {result.decision.reason}")
         session.note_attach(pmo.pmo_id, now)
-        self.metrics.attaches += 1
+        self.metrics.note_attach()
         return {"outcome": result.decision.outcome.value,
                 "base_va": result.handle.base_va_at_attach,
                 "reason": result.decision.reason}
@@ -453,7 +539,7 @@ class TerpService:
         decision = self.lib.runtime.detach(session.entity_id, pmo,
                                            self.lib.clock_ns)
         session.note_detach(pmo.pmo_id)
-        self.metrics.detaches += 1
+        self.metrics.note_detach()
         return {"outcome": decision.outcome.value,
                 "reason": decision.reason}
 

@@ -1,0 +1,141 @@
+"""Audit timeline semantics: ordering, durations, ring-wrap exactness."""
+
+import threading
+
+from repro.obs.audit import ATTACH, DETACH, FORCED_DETACH, AuditTimeline
+
+
+class TestDurations:
+    def test_attach_detach_pairs_measure_held_time(self):
+        timeline = AuditTimeline()
+        timeline.record_attach(1, 7, "pmoA", 1_000)
+        timeline.record_detach(1, 7, "pmoA", 4_000)
+        [attach, detach] = timeline.events()
+        assert attach["kind"] == ATTACH
+        assert attach["duration_ns"] is None
+        assert detach["kind"] == DETACH
+        assert detach["duration_ns"] == 3_000
+        summary = timeline.summary()
+        assert summary["windows"] == 1
+        assert summary["held_mean_ns"] == 3_000
+        assert summary["held_max_ns"] == 3_000
+
+    def test_silent_reattach_keeps_earliest_start(self):
+        """Exposure began at the first attach; a silent re-attach
+        inside the combined window must not reset the clock."""
+        timeline = AuditTimeline()
+        timeline.record_attach(1, 7, "pmoA", 1_000)
+        timeline.record_attach(1, 7, "pmoA", 2_000, reason="silent")
+        timeline.record_detach(1, 7, "pmoA", 5_000)
+        detach = timeline.events(kind=DETACH)[0]
+        assert detach["duration_ns"] == 4_000
+
+    def test_forced_detach_classified_separately(self):
+        timeline = AuditTimeline()
+        timeline.record_attach(1, 7, "pmoA", 0)
+        timeline.record_detach(1, 7, "pmoA", 9_000, forced=True,
+                               reason="budget elapsed")
+        [event] = timeline.events(kind=FORCED_DETACH)
+        assert event["reason"] == "budget elapsed"
+        summary = timeline.summary()
+        assert summary["forced_detaches"] == 1
+        assert summary["detaches"] == 0
+        assert summary["windows"] == 1
+
+    def test_windows_tracked_per_entity(self):
+        """Two entities holding the same PMO are two windows."""
+        timeline = AuditTimeline()
+        timeline.record_attach(1, 7, "pmoA", 0)
+        timeline.record_attach(2, 7, "pmoA", 1_000)
+        assert len(timeline.open_windows(2_000)) == 2
+        timeline.record_detach(1, 7, "pmoA", 3_000)
+        [window] = timeline.open_windows(4_000)
+        assert window["entity"] == 2
+        assert window["age_ns"] == 3_000
+        timeline.record_detach(2, 7, "pmoA", 5_000)
+        assert timeline.open_windows() == []
+        assert timeline.summary()["per_pmo"]["pmoA"]["windows"] == 2
+
+    def test_events_filter_by_pmo_name_or_id(self):
+        timeline = AuditTimeline()
+        timeline.record_attach(1, 7, "pmoA", 0)
+        timeline.record_attach(1, 8, "pmoB", 0)
+        assert len(timeline.events(pmo="pmoA")) == 1
+        assert len(timeline.events(pmo=8)) == 1
+        assert timeline.events(pmo="pmoA")[0]["pmo"] == "pmoA"
+
+
+class TestConcurrentOrdering:
+    def test_seq_total_order_across_sessions(self):
+        """N concurrent sessions; every event gets a unique seq and
+        the retained log reads back strictly increasing."""
+        timeline = AuditTimeline()
+        sessions, rounds = 8, 50
+        start = threading.Barrier(sessions)
+
+        def session(entity: int) -> None:
+            start.wait(5.0)
+            for i in range(rounds):
+                at = entity * 1_000_000 + i * 10
+                timeline.record_attach(entity, 7, "shared", at)
+                timeline.record_detach(entity, 7, "shared", at + 5)
+
+        workers = [threading.Thread(target=session, args=(e,))
+                   for e in range(sessions)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(30.0)
+
+        events = timeline.events()
+        seqs = [e["seq"] for e in events]
+        assert seqs == sorted(seqs)
+        assert len(seqs) == len(set(seqs))
+        # Nothing lost: the counters saw every event exactly once.
+        summary = timeline.summary()
+        assert summary["events"] == sessions * rounds * 2
+        assert summary["attaches"] == sessions * rounds
+        assert summary["detaches"] == sessions * rounds
+        assert summary["open_windows"] == 0
+        # Per entity, the interleaving is still attach/detach/attach...
+        for entity in range(sessions):
+            kinds = [e["kind"] for e in events
+                     if e["entity"] == entity]
+            assert kinds == [ATTACH, DETACH] * (len(kinds) // 2)
+
+
+class TestRingWrap:
+    def test_summary_exact_after_ring_wraps(self):
+        """The ring forgets events; the summary must not."""
+        timeline = AuditTimeline(capacity=8)
+        windows = 100
+        for i in range(windows):
+            timeline.record_attach(1, 7, "pmoA", i * 100)
+            timeline.record_detach(1, 7, "pmoA", i * 100 + 60)
+        assert len(timeline.events()) == 8        # ring-bounded
+        summary = timeline.summary()
+        assert summary["events"] == windows * 2   # exact
+        assert summary["attaches"] == windows
+        assert summary["detaches"] == windows
+        assert summary["windows"] == windows
+        assert summary["held_mean_ns"] == 60
+        assert summary["held_max_ns"] == 60
+
+    def test_sweep_events_counted(self):
+        timeline = AuditTimeline()
+        timeline.record_sweep(1_000, closed=2, duration_ns=50)
+        [event] = timeline.events(kind="sweep")
+        assert event["reason"] == "closed 2 window(s)"
+        assert event["duration_ns"] == 50
+        assert timeline.summary()["sweeps"] == 1
+
+
+class TestNoopMode:
+    def test_disabled_timeline_records_nothing(self):
+        timeline = AuditTimeline(enabled=False)
+        timeline.record_attach(1, 7, "pmoA", 0)
+        timeline.record_detach(1, 7, "pmoA", 100)
+        timeline.record_sweep(200, closed=1)
+        assert timeline.events() == []
+        assert timeline.summary()["events"] == 0
+        assert timeline.open_windows() == []
