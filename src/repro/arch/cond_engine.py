@@ -35,8 +35,10 @@ from typing import (
     TYPE_CHECKING, Callable, Dict, Hashable, List, Optional, Set, Tuple)
 
 if TYPE_CHECKING:
+    from repro.faults.plan import FaultPlan
     from repro.obs.tracing import Tracer
 
+from repro.core.errors import InjectedFault
 from repro.core.permissions import Access
 from repro.core.semantics import (
     Action, ActionKind, Decision, Outcome, SemanticsEngine)
@@ -108,6 +110,12 @@ class TerpArchEngine(SemanticsEngine):
         #: does), each sweep pass that does work is recorded as an
         #: ``engine.sweep`` span nested under the caller's span.
         self.tracer: Optional["Tracer"] = None
+        #: optional fault-injection plan; sites ``engine.buffer_full``
+        #: and ``engine.domain_exhausted`` (attach-side transient
+        #: capacity faults).  The sweeper-stall site lives in the
+        #: driver that schedules sweeps (terpd's ``run_sweep``), not
+        #: here — a stalled sweeper never enters this method at all.
+        self.faults: Optional["FaultPlan"] = None
 
     def thread_has_open_pair(self, thread_id: int, pmo_id: Hashable) -> bool:
         return self._thread_open.get((thread_id, pmo_id), False)
@@ -126,6 +134,18 @@ class TerpArchEngine(SemanticsEngine):
         if self._thread_open.get(key):
             return Decision(Outcome.ERROR,
                             reason="overlapping attach within a thread")
+        if self.faults is not None:
+            # Transient capacity faults: the buffer (or the MPK key
+            # pool beneath it) reports full even though it is not —
+            # the retryable resource-exhaustion failure mode.
+            if self.faults.fire("engine.buffer_full") is not None:
+                raise InjectedFault(
+                    "injected: circular buffer full",
+                    site="engine.buffer_full")
+            if self.faults.fire("engine.domain_exhausted") is not None:
+                raise InjectedFault(
+                    "injected: protection-domain pool exhausted",
+                    site="engine.domain_exhausted")
         # A fresh attach supersedes any forced-detach marker: from here
         # on the pair is live again and its detach must be real.
         self._forced_pairs.discard(key)

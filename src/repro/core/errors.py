@@ -63,6 +63,40 @@ class CrashConsistencyError(PmoError):
     """The persistent log or snapshot is in an unrecoverable state."""
 
 
+class Busy(TerpError):
+    """A transient resource limit (e.g. the session table is full).
+
+    Explicitly retryable: the condition clears on its own, so clients
+    back off and try again rather than treating it as a hard failure.
+    """
+
+
+class InjectedFault(TerpError):
+    """A deterministic fault-injection rule fired (transient).
+
+    Raised at registered injection sites when the active
+    :class:`~repro.faults.plan.FaultPlan` decides the operation fails.
+    Models a *transient* failure — a storage write error, an exhausted
+    protection-domain pool — that a client may safely retry.  Carries
+    the site so callers (and tests) can attribute the failure.
+    """
+
+    def __init__(self, message: str, *, site: str = "") -> None:
+        super().__init__(message)
+        self.site = site
+
+
+class InjectedCrash(InjectedFault):
+    """A fault-injection rule demanded a crash at this point.
+
+    The terpd server treats this as the hosting process dying
+    mid-request: the session's windows are force-closed, the
+    connection is severed without a response, and the persistent bytes
+    are left exactly as they were when the crash fired — the
+    crash-torture harness snapshots them and drives recovery.
+    """
+
+
 class CompilerError(TerpError):
     """Malformed IR or a failed static-analysis precondition."""
 

@@ -242,7 +242,8 @@ class TerpRuntime:
         """PMO ids on which the entity currently holds access."""
         return self.semantics.entity_pmos(thread_id)
 
-    def release_entity(self, thread_id: int, now_ns: int) -> list:
+    def release_entity(self, thread_id: int, now_ns: int, *,
+                       forced: bool = False, reason: str = "") -> list:
         """Detach everything ``thread_id`` still holds.
 
         The cleanup path for a remote session that disconnected or
@@ -252,6 +253,11 @@ class TerpRuntime:
         individual PMOs are collected, not raised — a dying session must
         never leave the rest of its holdings dangling.
 
+        ``forced``/``reason`` annotate the audit timeline exactly as
+        on :meth:`detach`: a supervisor releasing a dead session's
+        holdings passes ``forced=True`` so the record distinguishes
+        the closure from the entity closing its own windows.
+
         Returns ``[(pmo_id, Decision | TerpError), ...]``.
         """
         released = []
@@ -259,7 +265,9 @@ class TerpRuntime:
             pmo = self.manager.get(pmo_id)
             try:
                 released.append((pmo_id,
-                                 self.detach(thread_id, pmo, now_ns)))
+                                 self.detach(thread_id, pmo, now_ns,
+                                             forced=forced,
+                                             reason=reason)))
             except TerpError as exc:
                 released.append((pmo_id, exc))
         return released

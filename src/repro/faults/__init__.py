@@ -1,0 +1,23 @@
+"""Deterministic fault injection and the chaos/invariant harness.
+
+Three pieces:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`: seeded, declarative
+  injection rules fired at registered sites across the whole stack
+  (library, arch engine, terpd server).
+* :mod:`repro.faults.invariants` — the temporal-protection theorem as
+  executable checks over the audit timeline (I1-I5).
+* :mod:`repro.faults.chaos` — ``run_chaos``: one seeded faulted run of
+  a multi-session terpd workload, verdict included.  Also the
+  ``python -m repro.faults.chaos`` CLI.
+"""
+
+from repro.faults.invariants import (
+    InvariantReport, Violation, check_events, check_timeline)
+from repro.faults.plan import (
+    NO_FAULTS, SITES, FaultPlan, FaultRule, Injection)
+
+__all__ = [
+    "FaultPlan", "FaultRule", "Injection", "NO_FAULTS", "SITES",
+    "InvariantReport", "Violation", "check_events", "check_timeline",
+]

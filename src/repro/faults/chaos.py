@@ -1,0 +1,328 @@
+"""Chaos harness: one seeded faulted run of a terpd workload.
+
+``run_chaos(seed)`` is the property the theorem test quantifies over:
+
+1. draw a random :class:`FaultPlan` from the seed (``random_plan``);
+2. stand up a terpd daemon with tight session budgets, a fast
+   sweeper, and the plan wired through every layer;
+3. drive a multi-session workload (attach/write/read/psync/detach
+   loops, one deliberate budget-overstaying "squatter") with
+   retry + circuit-breaker clients;
+4. require every request to be *acknowledged or typed-failed* — a
+   hang, a silent loss, or an untyped exception fails the run;
+5. replay the audit timeline against invariants I1-I5
+   (:mod:`repro.faults.invariants`) with a slack derived from the
+   faults that actually fired (each sweeper stall delays enforcement
+   by one period; injected delays extend windows by their length).
+
+Every verdict carries the seed and the minimal fault plan, so any
+failure reproduces with ``python -m repro.faults.chaos --seed N``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.faults.invariants import InvariantReport, check_timeline
+from repro.faults.plan import FaultPlan, FaultRule
+from repro.service.client import (
+    ConnectionLost, RemoteError, SyncTerpClient)
+from repro.service.retry import (
+    CircuitBreaker, CircuitOpenError, RetryPolicy)
+from repro.service.server import ServiceThread, TerpService
+
+#: Extra bounded-exposure slack for host scheduling jitter: the
+#: sweeper is an asyncio task on a shared CI box, not a hardware
+#: timer, so a pass can land arbitrarily late under load.
+SCHEDULING_SLACK_NS = 250_000_000
+
+
+def random_plan(seed: int) -> FaultPlan:
+    """A randomized-but-seeded fault plan covering every layer.
+
+    Each rule is bounded (small ``count``, short ``delay_ns``) so a
+    run always terminates; which rules exist and how eager they are
+    is drawn from the seed.
+    """
+    rng = random.Random(seed)
+    rules: List[FaultRule] = []
+
+    def maybe(chance: float, make) -> None:
+        if rng.random() < chance:
+            rules.append(make())
+
+    maybe(0.7, lambda: FaultRule(
+        "lib.storage_write", "error",
+        probability=round(0.02 + 0.10 * rng.random(), 3),
+        count=rng.randint(1, 3)))
+    maybe(0.5, lambda: FaultRule(
+        "lib.psync_stall", "stall",
+        probability=round(0.05 + 0.15 * rng.random(), 3),
+        count=2, delay_ns=rng.randrange(200_000, 2_000_000)))
+    maybe(0.6, lambda: FaultRule(
+        "engine.sweep_stall", "stall", probability=0.25,
+        count=rng.randint(1, 3)))
+    maybe(0.4, lambda: FaultRule(
+        "engine.buffer_full", "error", probability=0.05, count=2))
+    maybe(0.4, lambda: FaultRule(
+        "engine.domain_exhausted", "error", probability=0.05, count=2))
+    maybe(0.6, lambda: FaultRule(
+        "server.conn_drop", "before", probability=0.04,
+        count=rng.randint(1, 2)))
+    maybe(0.5, lambda: FaultRule(
+        "server.partial_frame", "after", probability=0.04,
+        count=rng.randint(1, 2)))
+    maybe(0.5, lambda: FaultRule(
+        "server.delay_response", "stall", probability=0.06, count=3,
+        delay_ns=rng.randrange(200_000, 2_000_000)))
+    maybe(0.25, lambda: FaultRule(
+        "server.session_crash", "crash", probability=0.02, count=1))
+    return FaultPlan(seed=seed, rules=rules)
+
+
+@dataclass
+class ChaosResult:
+    """The verdict of one seeded chaos run."""
+
+    seed: int
+    report: InvariantReport
+    requests_ok: int = 0
+    requests_failed: int = 0
+    replayed_events: int = 0
+    failures_by_kind: Dict[str, int] = field(default_factory=dict)
+    faults_by_site: Dict[str, int] = field(default_factory=dict)
+    #: fault events actually present on the audit timeline, by site
+    #: (may undercount faults_by_site if the ring wrapped).
+    faults_in_audit: Dict[str, int] = field(default_factory=dict)
+    resumes: int = 0
+    sessions_lost: int = 0
+    forced_detach_events: int = 0
+    slack_ns: int = 0
+    #: exceptions that were NOT typed failures — always a bug.
+    unexpected: List[str] = field(default_factory=list)
+    plan: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok and not self.unexpected
+
+    def describe(self) -> str:
+        lines = [
+            f"chaos seed {self.seed}: "
+            f"{'OK' if self.ok else 'FAILED'}",
+            f"  requests: {self.requests_ok} ok, "
+            f"{self.requests_failed} typed-failed "
+            f"({self.failures_by_kind})",
+            f"  faults fired: {self.faults_by_site}",
+            f"  resumes: {self.resumes}, sessions lost: "
+            f"{self.sessions_lost}, forced-detach events: "
+            f"{self.forced_detach_events}",
+            f"  invariants: {self.report.describe()}",
+        ]
+        if self.unexpected:
+            lines.append(f"  UNEXPECTED: {self.unexpected}")
+        if not self.ok:
+            lines.append("  replay: python -m repro.faults.chaos "
+                         f"--seed {self.seed}")
+            lines.append("  minimal plan: "
+                         + json.dumps(self.plan.get("rules", [])))
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "ok": self.ok,
+            "requests_ok": self.requests_ok,
+            "requests_failed": self.requests_failed,
+            "failures_by_kind": self.failures_by_kind,
+            "faults_by_site": self.faults_by_site,
+            "faults_in_audit": self.faults_in_audit,
+            "resumes": self.resumes,
+            "sessions_lost": self.sessions_lost,
+            "forced_detach_events": self.forced_detach_events,
+            "slack_ns": self.slack_ns,
+            "unexpected": self.unexpected,
+            "violations": [str(v) for v in self.report.violations],
+            "plan": self.plan,
+        }
+
+
+class _Tally:
+    """Per-worker op accounting: every request acked or typed-failed."""
+
+    def __init__(self) -> None:
+        self.ok = 0
+        self.failed = 0
+        self.by_kind: Dict[str, int] = {}
+        self.unexpected: List[str] = []
+
+    def attempt(self, fn) -> Optional[Any]:
+        try:
+            result = fn()
+        except (RemoteError, CircuitOpenError) as exc:
+            # Typed failure: the request's fate is known and named.
+            kind = getattr(exc, "kind", type(exc).__name__)
+            self.failed += 1
+            self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+            return None
+        except Exception as exc:       # noqa: BLE001 — the whole point
+            self.unexpected.append(f"{type(exc).__name__}: {exc}")
+            return None
+        self.ok += 1
+        return result
+
+
+def _worker(idx: int, port: int, seed: int, oid, budget_ns: int,
+            requests: int, squat: bool, tally: _Tally,
+            clients: List[SyncTerpClient]) -> None:
+    retry = RetryPolicy(max_retries=6, base_delay_s=0.001,
+                        max_delay_s=0.02, seed=seed * 131 + idx)
+    breaker = CircuitBreaker(failure_threshold=8,
+                             reset_timeout_s=0.05)
+    client = SyncTerpClient(port=port, user=f"worker{idx}",
+                            retry=retry, breaker=breaker)
+    clients.append(client)
+    connected = False
+    for attempt in range(4):
+        if tally.attempt(client.connect) is not None:
+            connected = True
+            break
+        time.sleep(0.002 * (attempt + 1))
+    if not connected:
+        return
+    for r in range(requests):
+        tally.attempt(lambda: client.attach("chaos"))
+        tally.attempt(lambda: client.write_u64(oid, idx * 1000 + r))
+        tally.attempt(lambda: client.read_u64(oid))
+        tally.attempt(lambda: client.psync("chaos"))
+        tally.attempt(lambda: client.detach("chaos"))
+    if squat:
+        # Overstay the budget on purpose: the sweeper must force the
+        # window closed, and our own late detach must be the defined
+        # silent outcome — the theorem's enforcement arm, observed.
+        tally.attempt(lambda: client.attach("chaos"))
+        time.sleep(budget_ns * 1.5 / 1e9)
+        tally.attempt(lambda: client.detach("chaos"))
+    tally.attempt(client.goodbye)
+    client.close()
+
+
+def run_chaos(seed: int, *, plan: Optional[FaultPlan] = None,
+              sessions: int = 3, requests: int = 5,
+              session_ew_ns: int = 12_000_000,
+              sweep_period_ns: int = 3_000_000) -> ChaosResult:
+    """One seeded faulted run; returns the full verdict."""
+    if plan is None:
+        plan = random_plan(seed)
+    service = TerpService(
+        port=0, session_ew_ns=session_ew_ns,
+        sweep_period_ns=sweep_period_ns, seed=seed, faults=plan,
+        session_linger_ns=10_000_000_000)
+    plan.disarm()                      # setup runs fault-free
+    tallies = [_Tally() for _ in range(sessions)]
+    clients: List[SyncTerpClient] = []
+    with ServiceThread(service) as svc:
+        port = svc.bound_port
+        assert port is not None
+        with SyncTerpClient(port=port, user="admin") as admin:
+            admin.create("chaos", 1 << 20, mode=0o666)
+            oids = [admin.pmalloc("chaos", 16)
+                    for _ in range(sessions)]
+        plan.arm()
+        threads = [
+            threading.Thread(
+                target=_worker, name=f"chaos-w{i}",
+                args=(i, port, seed, oids[i], session_ew_ns, requests,
+                      i == 0, tallies[i], clients))
+            for i in range(sessions)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        hung = [t.name for t in threads if t.is_alive()]
+        plan.disarm()                  # drain runs fault-free
+        # Let the sweeper close anything still open (a worker that
+        # died between attach and detach), then verify closure.
+        deadline = time.monotonic() + 2.0
+        while time.monotonic() < deadline:
+            service.run_sweep()
+            with service.lib.lock:
+                still_open = service.obs.audit.open_windows(
+                    service.lib.clock_ns)
+            if not still_open:
+                break
+            time.sleep(sweep_period_ns / 1e9)
+    # ServiceThread.stop() ran: sessions drained, runtime finished.
+    stalls = len(plan.fired("engine.sweep_stall"))
+    injected_delay = sum(inj.delay_ns for inj in plan.fired())
+    slack_ns = (4 + stalls) * sweep_period_ns + injected_delay + \
+        SCHEDULING_SLACK_NS
+    report = check_timeline(service.obs.audit,
+                            ew_budget_ns=session_ew_ns,
+                            slack_ns=slack_ns)
+    result = ChaosResult(seed=seed, report=report, slack_ns=slack_ns,
+                         plan={"seed": plan.seed,
+                               "rules": [r.to_dict()
+                                         for r in plan.minimal()]})
+    for tally in tallies:
+        result.requests_ok += tally.ok
+        result.requests_failed += tally.failed
+        result.unexpected.extend(tally.unexpected)
+        for kind, count in tally.by_kind.items():
+            result.failures_by_kind[kind] = \
+                result.failures_by_kind.get(kind, 0) + count
+    for name in hung:
+        result.unexpected.append(f"worker {name} hung past deadline")
+    for client in clients:
+        result.resumes += client.resumes
+        result.sessions_lost += client.sessions_lost
+        result.forced_detach_events += client.forced_detaches
+    for inj in plan.fired():
+        result.faults_by_site[inj.site] = \
+            result.faults_by_site.get(inj.site, 0) + 1
+    for event in service.obs.audit.events(kind="fault"):
+        site = str(event["reason"]).split(" [", 1)[0]
+        result.faults_in_audit[site] = \
+            result.faults_in_audit.get(site, 0) + 1
+    return result
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults.chaos",
+        description="One seeded chaos run against a live terpd; "
+                    "exit 0 iff every invariant held.")
+    parser.add_argument("--seed", default="random",
+                        help="integer seed, or 'random' (default)")
+    parser.add_argument("--sessions", type=int, default=3)
+    parser.add_argument("--requests", type=int, default=5,
+                        help="attach/write/read/psync/detach rounds "
+                             "per session")
+    parser.add_argument("--out", default=None,
+                        help="write the full verdict (plan included) "
+                             "to this JSON file")
+    args = parser.parse_args(argv)
+    if args.seed == "random":
+        seed = int.from_bytes(os.urandom(4), "big")
+    else:
+        seed = int(args.seed)
+    result = run_chaos(seed, sessions=args.sessions,
+                       requests=args.requests)
+    print(result.describe())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, indent=2)
+        print(f"verdict written to {args.out}")
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,252 @@
+"""The temporal-protection theorem, checked against the audit record.
+
+The paper's central temporal claim (Section 3): under EW-Conscious
+semantics no PMO stays attached past its exposure-window target, no
+matter what threads, sweeps, or failures do.  The PR-2 audit timeline
+records every attach/detach/forced-detach with entity, PMO, and held
+duration; this module *replays* that record after a (possibly heavily
+faulted) run and asserts the invariants the theorem implies:
+
+I1  **bounded exposure** — every closed held-window is at most the
+    enforced EW budget plus the sweep slack (the sweeper only runs
+    every period, and injected sweeper stalls widen the slack — they
+    may *delay* enforcement, never lose it);
+I2  **no overlap** — a given entity never opens a second window on a
+    PMO while its first is still open (per-thread EWs never overlap);
+I3  **attributed force** — every forced-detach event carries a
+    non-empty reason (an operator can always answer *who closed this
+    window and why*);
+I4  **exact pairing** — the cumulative per-PMO exposure statistics
+    match what re-pairing the attach/detach events yields, exactly
+    (the aggregate and the event stream cannot drift apart);
+I5  **eventual closure** — at the chosen end-of-run instant, no
+    window is still open.
+
+``check_events`` works on a plain event list (synthetic timelines in
+tests); ``check_timeline`` pulls events, summary, and open windows
+from a live :class:`~repro.obs.audit.AuditTimeline` and skips the
+exact-pairing comparison if the ring has wrapped (the events needed
+for re-pairing have rolled off).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.obs.audit import ATTACH, DETACH, FORCED_DETACH, AuditTimeline
+
+__all__ = ["Violation", "InvariantReport", "check_events",
+           "check_timeline"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, with enough context to debug it."""
+
+    invariant: str            # "bounded-exposure", "overlap", ...
+    detail: str
+    event: Optional[Dict[str, Any]] = None
+
+    def __str__(self) -> str:
+        suffix = f" | event={self.event}" if self.event else ""
+        return f"[{self.invariant}] {self.detail}{suffix}"
+
+
+@dataclass
+class InvariantReport:
+    """The verdict of one replay of the audit record."""
+
+    violations: List[Violation] = field(default_factory=list)
+    windows_checked: int = 0
+    events_checked: int = 0
+    max_held_ns: int = 0
+    pairing_checked: bool = True
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def describe(self) -> str:
+        if self.ok:
+            return (f"OK: {self.windows_checked} windows / "
+                    f"{self.events_checked} events, "
+                    f"max held {self.max_held_ns / 1e6:.3f}ms")
+        lines = [f"{len(self.violations)} violation(s) over "
+                 f"{self.windows_checked} windows:"]
+        lines.extend(str(v) for v in self.violations)
+        return "\n".join(lines)
+
+
+def check_events(events: List[Dict[str, Any]], *,
+                 ew_budget_ns: Optional[int] = None,
+                 slack_ns: int = 0,
+                 summary: Optional[Dict[str, Any]] = None,
+                 open_windows: Optional[List[Dict[str, Any]]] = None,
+                 ) -> InvariantReport:
+    """Replay audit events and check invariants I1-I5.
+
+    ``ew_budget_ns``  the enforced per-entity budget; ``None`` skips
+                      the bounded-exposure check (I1).
+    ``slack_ns``      enforcement slack added on top of the budget —
+                      at least the sweep period, plus one period per
+                      injected sweeper stall, plus scheduling jitter.
+    ``summary``       an :meth:`AuditTimeline.summary` dict; when
+                      given, per-PMO cumulative stats are re-derived
+                      from the events and compared exactly (I4).
+    ``open_windows``  :meth:`AuditTimeline.open_windows` at end of
+                      run; non-empty is a violation (I5).
+    """
+    report = InvariantReport()
+    open_at: Dict[Tuple[Optional[int], Hashable], int] = {}
+    derived: Dict[Hashable, Dict[str, Any]] = {}
+
+    def stats_for(pmo_id: Hashable, pmo_name: Any) -> Dict[str, Any]:
+        st = derived.get(pmo_id)
+        if st is None:
+            st = {"pmo": pmo_name, "attaches": 0, "detaches": 0,
+                  "forced_detaches": 0, "windows": 0,
+                  "held_total_ns": 0, "held_max_ns": 0}
+            derived[pmo_id] = st
+        elif st["pmo"] is None and pmo_name is not None:
+            st["pmo"] = pmo_name
+        return st
+
+    for event in events:
+        report.events_checked += 1
+        kind = event.get("kind")
+        key = (event.get("entity"), event.get("pmo_id"))
+        at_ns = event.get("at_ns", 0)
+        if kind == ATTACH:
+            stats_for(key[1], event.get("pmo"))["attaches"] += 1
+            if key in open_at:
+                report.violations.append(Violation(
+                    "overlap",
+                    f"entity {key[0]} attached PMO {key[1]!r} at "
+                    f"{at_ns} while its window from {open_at[key]} "
+                    f"was still open", event))
+            else:
+                open_at[key] = at_ns
+        elif kind in (DETACH, FORCED_DETACH):
+            forced = kind == FORCED_DETACH
+            st = stats_for(key[1], event.get("pmo"))
+            st["forced_detaches" if forced else "detaches"] += 1
+            if forced and not event.get("reason"):
+                report.violations.append(Violation(
+                    "attributed-force",
+                    f"forced detach of PMO {key[1]!r} by entity "
+                    f"{key[0]} carries no reason", event))
+            since = open_at.pop(key, None)
+            duration = event.get("duration_ns")
+            if since is None:
+                # A detach that closed nothing is only legitimate as
+                # the defined silent no-op (duration is None).
+                if duration is not None:
+                    report.violations.append(Violation(
+                        "pairing",
+                        f"detach of PMO {key[1]!r} by entity {key[0]} "
+                        f"reports duration {duration} but no window "
+                        f"was open", event))
+                continue
+            held = max(0, at_ns - since)
+            if duration is None or duration != held:
+                report.violations.append(Violation(
+                    "pairing",
+                    f"detach of PMO {key[1]!r} by entity {key[0]} "
+                    f"reports duration {duration!r}, replay says "
+                    f"{held}", event))
+            report.windows_checked += 1
+            st["windows"] += 1
+            st["held_total_ns"] += held
+            st["held_max_ns"] = max(st["held_max_ns"], held)
+            report.max_held_ns = max(report.max_held_ns, held)
+            if ew_budget_ns is not None and \
+                    held > ew_budget_ns + slack_ns:
+                report.violations.append(Violation(
+                    "bounded-exposure",
+                    f"entity {key[0]} held PMO {key[1]!r} for "
+                    f"{held / 1e6:.3f}ms, budget "
+                    f"{ew_budget_ns / 1e6:.3f}ms + slack "
+                    f"{slack_ns / 1e6:.3f}ms", event))
+        # sweep / fault events carry no window state to replay
+
+    if summary is not None:
+        _check_pairing(report, derived, summary)
+    if open_windows:
+        for window in open_windows:
+            report.violations.append(Violation(
+                "eventual-closure",
+                f"window of entity {window.get('entity')} on PMO "
+                f"{window.get('pmo_id')!r} still open since "
+                f"{window.get('since_ns')}", dict(window)))
+    return report
+
+
+def _check_pairing(report: InvariantReport,
+                   derived: Dict[Hashable, Dict[str, Any]],
+                   summary: Dict[str, Any]) -> None:
+    """I4: derived per-PMO stats must equal the cumulative summary."""
+    recorded: Dict[str, Dict[str, Any]] = summary.get("per_pmo", {})
+    fields = ("attaches", "detaches", "forced_detaches", "windows",
+              "held_total_ns", "held_max_ns")
+    derived_by_name = {
+        str(st["pmo"] if st["pmo"] is not None else pmo_id): st
+        for pmo_id, st in derived.items()}
+    for name in sorted(set(recorded) | set(derived_by_name)):
+        want = derived_by_name.get(name)
+        have = recorded.get(name)
+        if want is None or have is None:
+            report.violations.append(Violation(
+                "exact-pairing",
+                f"PMO {name!r} present in "
+                f"{'summary' if want is None else 'events'} only"))
+            continue
+        for field_name in fields:
+            if want[field_name] != have.get(field_name):
+                report.violations.append(Violation(
+                    "exact-pairing",
+                    f"PMO {name!r} {field_name}: events say "
+                    f"{want[field_name]}, summary says "
+                    f"{have.get(field_name)}"))
+
+
+def check_timeline(audit: AuditTimeline, *,
+                   ew_budget_ns: Optional[int] = None,
+                   slack_ns: int = 0,
+                   at_end: bool = True) -> InvariantReport:
+    """Replay a live audit timeline against invariants I1-I5.
+
+    If the ring has wrapped (``events_recorded > capacity``) the
+    event stream is incomplete, so the overlap and exact-pairing
+    checks would produce false positives — they are skipped and
+    ``pairing_checked`` is set ``False`` on the report.
+    """
+    events = audit.events()
+    wrapped = audit.events_recorded > audit.capacity
+    if wrapped:
+        report = InvariantReport(pairing_checked=False)
+        # Bounded exposure + attribution still hold per event.
+        for event in events:
+            report.events_checked += 1
+            if event["kind"] == FORCED_DETACH and not event["reason"]:
+                report.violations.append(Violation(
+                    "attributed-force",
+                    f"forced detach of PMO {event['pmo_id']!r} "
+                    f"carries no reason", event))
+            duration = event.get("duration_ns")
+            if event["kind"] in (DETACH, FORCED_DETACH) and \
+                    duration is not None:
+                report.windows_checked += 1
+                report.max_held_ns = max(report.max_held_ns, duration)
+                if ew_budget_ns is not None and \
+                        duration > ew_budget_ns + slack_ns:
+                    report.violations.append(Violation(
+                        "bounded-exposure",
+                        f"window of {duration / 1e6:.3f}ms exceeds "
+                        f"budget + slack", event))
+    else:
+        report = check_events(
+            events, ew_budget_ns=ew_budget_ns, slack_ns=slack_ns,
+            summary=audit.summary(),
+            open_windows=audit.open_windows() if at_end else None)
+    return report

@@ -31,6 +31,7 @@ ATTACH = "attach"
 DETACH = "detach"
 FORCED_DETACH = "forced-detach"
 SWEEP = "sweep"
+FAULT = "fault"
 
 
 class AuditTimeline:
@@ -49,6 +50,7 @@ class AuditTimeline:
         self._per_pmo: Dict[Hashable, Dict[str, Any]] = {}
         self.events_recorded = 0
         self.sweeps = 0
+        self.faults_injected = 0
 
     # -- recording --------------------------------------------------------
 
@@ -128,6 +130,25 @@ class AuditTimeline:
                                 duration_ns,
                                 f"closed {closed} window(s)")
 
+    def record_fault(self, site: str, kind: str, at_ns: int, *,
+                     detail: str = "") -> None:
+        """An injected fault fired at ``site``.
+
+        Chaos runs thread the fault plan's ``on_fire`` hook here so
+        injected failures are first-class events on the same timeline
+        as the windows they perturb — a faulted run's audit record
+        shows *both* the chaos and the enforcement that survived it.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            self.faults_injected += 1
+            reason = f"{site} [{kind}]"
+            if detail:
+                reason = f"{reason} {detail}"
+            self._append_locked(FAULT, at_ns, None, None, None, None,
+                                reason)
+
     # -- querying ---------------------------------------------------------
 
     def events(self, *, pmo: Optional[Hashable] = None,
@@ -172,6 +193,7 @@ class AuditTimeline:
             open_count = len(self._open)
             events = self.events_recorded
             sweeps = self.sweeps
+            faults = self.faults_injected
         windows = sum(s["windows"] for s in per_pmo.values())
         held_total = sum(s["held_total_ns"] for s in per_pmo.values())
         held_max = max((s["held_max_ns"] for s in per_pmo.values()),
@@ -183,6 +205,7 @@ class AuditTimeline:
             "forced_detaches": sum(s["forced_detaches"]
                                    for s in per_pmo.values()),
             "sweeps": sweeps,
+            "faults_injected": faults,
             "open_windows": open_count,
             "windows": windows,
             "held_mean_ns": held_total / windows if windows else 0.0,

@@ -17,14 +17,17 @@ from __future__ import annotations
 import contextlib
 import struct
 import threading
+import time
 from typing import TYPE_CHECKING, Iterator, Optional
 
 import numpy as np
 
 if TYPE_CHECKING:
+    from repro.faults.plan import FaultPlan
     from repro.obs import Observability
 
-from repro.core.errors import PmoError, TerpError
+from repro.core.errors import (
+    InjectedCrash, InjectedFault, PmoError, TerpError)
 from repro.core.permissions import Access
 from repro.core.runtime import AttachResult, Handle, TerpRuntime
 from repro.core.semantics import EwConsciousSemantics, SemanticsEngine
@@ -40,7 +43,8 @@ class PmoLibrary:
     def __init__(self, *, semantics: Optional[SemanticsEngine] = None,
                  ew_target_us: float = 40.0, seed: int = 2022,
                  strict: bool = True,
-                 obs: Optional["Observability"] = None) -> None:
+                 obs: Optional["Observability"] = None,
+                 faults: Optional["FaultPlan"] = None) -> None:
         if semantics is None:
             semantics = EwConsciousSemantics(us(ew_target_us))
         self.runtime = TerpRuntime(
@@ -49,6 +53,10 @@ class PmoLibrary:
         self.obs = obs
         self._tracer = (obs.tracer if obs is not None and obs.enabled
                         else None)
+        #: optional fault-injection plan; sites ``lib.storage_write``
+        #: (a checked write fails transiently or crashes the process)
+        #: and ``lib.psync_stall`` (the durability point stalls).
+        self.faults = faults
         self.clock_ns = 0
         self._thread_id = 0
         #: Re-entrancy guard for multi-threaded embeddings (the terpd
@@ -182,6 +190,12 @@ class PmoLibrary:
         """
         tracer = self._tracer
         t0 = tracer.clock() if tracer is not None else 0
+        if self.faults is not None:
+            rule = self.faults.fire("lib.psync_stall")
+            if rule is not None and rule.delay_ns > 0:
+                # Media stall at the durability point.  Slept outside
+                # the library lock so other sessions keep moving.
+                time.sleep(rule.delay_ns / 1e9)
         with self.lock:
             if not pmo.log.in_transaction:
                 return 0
@@ -204,6 +218,15 @@ class PmoLibrary:
 
     def write(self, oid: Oid, data: bytes) -> None:
         """Checked write."""
+        if self.faults is not None:
+            rule = self.faults.fire("lib.storage_write")
+            if rule is not None:
+                # The fault fires before any byte moves: a transient
+                # device error (or a crash) never leaves a torn write.
+                cls = InjectedCrash if rule.kind == "crash" \
+                    else InjectedFault
+                raise cls("injected: storage write failed",
+                          site="lib.storage_write")
         with self.lock:
             pmo = self.manager.get(oid.pool_id)
             self.runtime.access(self._thread_id, pmo, oid.offset,

@@ -16,6 +16,22 @@ Both surface the Table I API as methods (``create``/``open``/
 ``psync``/``destroy``), translate error responses into
 :class:`RemoteError`, and collect out-of-band ``forced-detach``
 events into :attr:`events`.
+
+Robustness (opt-in via the ``retry`` / ``breaker`` constructor
+arguments; without them the clients behave exactly as before):
+
+* a lost connection surfaces as :class:`ConnectionLost` — typed, so
+  callers can tell "the server said no" from "the server went away";
+* with a :class:`~repro.service.retry.RetryPolicy`, a lost connection
+  triggers reconnect + session resume + replay of the *same request
+  id* after a jittered exponential backoff.  The server's per-session
+  replay cache makes the retry idempotent: a request that executed
+  but whose response was lost is answered from the cache, never run
+  twice.  Retryable error kinds (``Busy``, ``InjectedFault``) are
+  retried in place on the live connection.
+* with a :class:`~repro.service.retry.CircuitBreaker`, consecutive
+  connection failures open the circuit and the client degrades to
+  read-only operations until a probe succeeds.
 """
 
 from __future__ import annotations
@@ -29,6 +45,9 @@ from repro.core.errors import TerpError
 from repro.pmo.object_id import Oid
 from repro.service import protocol
 from repro.service.protocol import WireError
+from repro.service.retry import (
+    READ_ONLY_OPS, RETRYABLE_KINDS, CircuitBreaker, CircuitOpenError,
+    RetryPolicy)
 
 
 class RemoteError(TerpError):
@@ -41,6 +60,28 @@ class RemoteError(TerpError):
         self.remote_message = message
 
 
+class ConnectionLost(RemoteError):
+    """The server went away mid-conversation (EOF, reset, torn frame).
+
+    Distinct from an error *response*: the server never answered, so
+    the fate of any in-flight request is unknown — which is exactly
+    what the retry machinery's idempotent replay resolves.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__("ConnectionLost", message)
+
+
+class SessionLost(RemoteError):
+    """The session could not be resumed after a reconnect (it crashed
+    server-side or its linger grace expired).  Raised only by clients
+    constructed with ``strict_resume=True``; by default the client
+    falls back to a fresh session and counts it in ``sessions_lost``."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__("SessionLost", message)
+
+
 class _ClientCore:
     """Response bookkeeping shared by both clients."""
 
@@ -48,8 +89,15 @@ class _ClientCore:
         self.session_id: Optional[int] = None
         self.entity_id: Optional[int] = None
         self.ew_budget_us: Optional[float] = None
+        self.resume_token: str = ""
         #: out-of-band events (forced detaches) seen on any response.
+        #: Delivery is at-least-once: a replayed response repeats the
+        #: events that rode on the original.
         self.events: List[dict] = []
+        #: successful session resumptions after a connection drop.
+        self.resumes = 0
+        #: reconnects where resume failed and a fresh session was opened.
+        self.sessions_lost = 0
         self._next_id = 0
 
     def next_id(self) -> int:
@@ -62,6 +110,8 @@ class _ClientCore:
                    if e.get("event") == "forced-detach")
 
     def take_result(self, response: Any, expect_id: int) -> Any:
+        if response is None:
+            raise ConnectionLost("server closed the connection")
         if not isinstance(response, dict):
             raise WireError(f"response is not an object: {response!r}")
         if response.get("id") != expect_id:
@@ -79,6 +129,7 @@ class _ClientCore:
         self.session_id = result["session"]
         self.entity_id = result["entity"]
         self.ew_budget_us = result["ew_budget_us"]
+        self.resume_token = str(result.get("token", ""))
 
 
 class SyncTerpClient(_ClientCore):
@@ -89,7 +140,10 @@ class SyncTerpClient(_ClientCore):
                  unix_path: Optional[str] = None,
                  user: str = "root",
                  ew_budget_us: Optional[float] = None,
-                 timeout: float = 30.0) -> None:
+                 timeout: float = 30.0,
+                 retry: Optional[RetryPolicy] = None,
+                 breaker: Optional[CircuitBreaker] = None,
+                 strict_resume: bool = False) -> None:
         super().__init__()
         if (port is None) == (unix_path is None):
             raise TerpError("give exactly one of port / unix_path")
@@ -97,8 +151,33 @@ class SyncTerpClient(_ClientCore):
         self._host, self._port, self._unix = host, port, unix_path
         self._user, self._budget = user, ew_budget_us
         self._timeout = timeout
+        self._retry = retry
+        self._breaker = breaker
+        self._strict_resume = strict_resume
+
+    # -- connection lifecycle ----------------------------------------------
 
     def connect(self) -> "SyncTerpClient":
+        self._open_socket()
+        self.note_hello(self._raw_call("hello", self._hello_args()))
+        return self
+
+    def close(self) -> None:
+        self._drop_socket()
+
+    def __enter__(self) -> "SyncTerpClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _hello_args(self) -> Dict[str, Any]:
+        args: Dict[str, Any] = {"user": self._user}
+        if self._budget is not None:
+            args["ew_budget_us"] = self._budget
+        return args
+
+    def _open_socket(self) -> None:
         if self._unix is not None:
             sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
             sock.settimeout(self._timeout)
@@ -108,56 +187,168 @@ class SyncTerpClient(_ClientCore):
                 (self._host, self._port), timeout=self._timeout)
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._sock = sock
-        args: Dict[str, Any] = {"user": self._user}
-        if self._budget is not None:
-            args["ew_budget_us"] = self._budget
-        self.note_hello(self.call("hello", **args))
-        return self
 
-    def close(self) -> None:
+    def _drop_socket(self) -> None:
         if self._sock is not None:
             try:
                 self._sock.close()
+            except OSError:
+                pass
             finally:
                 self._sock = None
 
-    def __enter__(self) -> "SyncTerpClient":
-        return self.connect()
+    def _reconnect(self) -> None:
+        """Reopen the transport and restore the session.
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+        Resume first (same session id, entity id, and replay cache);
+        if the server no longer knows the session, fall back to a
+        fresh one — unless ``strict_resume`` asked for a typed
+        :class:`SessionLost` instead.
+        """
+        self._drop_socket()
+        self._open_socket()
+        args = self._hello_args()
+        if self.session_id is not None and self.resume_token:
+            try:
+                self.note_hello(self._raw_call(
+                    "hello", dict(args, resume=self.session_id,
+                                  token=self.resume_token)))
+                self.resumes += 1
+                return
+            except ConnectionLost:
+                raise
+            except RemoteError as exc:
+                self.sessions_lost += 1
+                if self._strict_resume:
+                    raise SessionLost(
+                        f"session {self.session_id} not resumable: "
+                        f"{exc.remote_message}") from exc
+        self.note_hello(self._raw_call("hello", args))
+
+    def _try_reconnect(self) -> None:
+        """Best-effort reconnect between retry attempts: a failure
+        here just leaves the next attempt to fail (and count)."""
+        try:
+            self._reconnect()
+        except SessionLost:
+            raise
+        except (OSError, TerpError):
+            self._drop_socket()
 
     # -- request plumbing -------------------------------------------------
 
-    def call(self, op: str, **args: Any) -> Any:
-        """One request, one response."""
+    def _send(self, payload: Any) -> None:
+        if self._sock is None:
+            raise ConnectionLost("not connected")
+        try:
+            protocol.send_frame(self._sock, payload)
+        except OSError as exc:
+            self._drop_socket()
+            raise ConnectionLost(f"send failed: {exc}") from exc
+
+    def _recv(self) -> Any:
+        if self._sock is None:
+            raise ConnectionLost("not connected")
+        try:
+            return protocol.recv_frame(self._sock)
+        except OSError as exc:
+            self._drop_socket()
+            raise ConnectionLost(f"recv failed: {exc}") from exc
+        except WireError as exc:
+            # A torn frame (e.g. the server died mid-write) is a
+            # connection failure, not a protocol dispute.
+            self._drop_socket()
+            raise ConnectionLost(str(exc)) from exc
+
+    def _raw_call(self, op: str, args: Dict[str, Any]) -> Any:
+        """One round-trip with no retry/breaker involvement."""
         rid = self.next_id()
-        protocol.send_frame(self._sock, protocol.request(rid, op, args))
-        response = protocol.recv_frame(self._sock)
-        if response is None:
-            raise WireError("server closed the connection")
-        return self.take_result(response, rid)
+        self._send(protocol.request(rid, op, args))
+        return self.take_result(self._recv(), rid)
+
+    def _check_breaker(self, op: str, *, readonly: bool) -> None:
+        if self._breaker is not None and \
+                not self._breaker.allow(readonly=readonly):
+            raise CircuitOpenError(
+                f"circuit open: refusing {op!r}; only read-only "
+                "operations pass until the server recovers")
+
+    def call(self, op: str, **args: Any) -> Any:
+        """One request, one response — with retry if configured."""
+        return self._call(self.next_id(), op, args)
+
+    def _call(self, rid: int, op: str, args: Dict[str, Any]) -> Any:
+        attempt = 0
+        while True:
+            self._check_breaker(op, readonly=op in READ_ONLY_OPS)
+            try:
+                self._send(protocol.request(rid, op, args))
+                result = self.take_result(self._recv(), rid)
+            except ConnectionLost:
+                self._drop_socket()
+                if self._breaker is not None:
+                    self._breaker.record_failure()
+                if self._retry is None or \
+                        attempt >= self._retry.max_retries:
+                    raise
+                self._retry.backoff(attempt)
+                attempt += 1
+                # Same rid on the restored session: if the lost
+                # request executed, the replay cache answers it.
+                self._try_reconnect()
+                continue
+            except RemoteError as exc:
+                # An error *response*: the connection round-tripped.
+                if self._breaker is not None:
+                    self._breaker.record_success()
+                if self._retry is not None and \
+                        exc.kind in RETRYABLE_KINDS and \
+                        attempt < self._retry.max_retries:
+                    self._retry.backoff(attempt)
+                    attempt += 1
+                    continue
+                raise
+            if self._breaker is not None:
+                self._breaker.record_success()
+            return result
 
     def pipeline(self, requests: List[Tuple[str, Dict]]) -> List[Any]:
         """Send every request frame before reading any response.
 
         Returns results in request order; a failed request raises only
         when its slot is reached, after all frames were sent — matching
-        how a pipelined server consumes them.
+        how a pipelined server consumes them.  With retry configured, a
+        connection lost mid-pipeline re-sends only the *unacknowledged*
+        request ids after reconnect + resume; acknowledged results are
+        kept and already-executed stragglers come from the replay
+        cache.
         """
-        rids = []
-        for op, args in requests:
-            rid = self.next_id()
-            rids.append(rid)
-            protocol.send_frame(self._sock,
-                                protocol.request(rid, op, args))
-        results = []
-        for rid in rids:
-            response = protocol.recv_frame(self._sock)
-            if response is None:
-                raise WireError("server closed mid-pipeline")
-            results.append(self.take_result(response, rid))
-        return results
+        pending = [(self.next_id(), op, args) for op, args in requests]
+        readonly = all(op in READ_ONLY_OPS for _, op, _ in pending)
+        results: List[Any] = []
+        attempt = 0
+        while True:
+            self._check_breaker(pending[0][1] if pending else "ping",
+                                readonly=readonly)
+            try:
+                for rid, op, args in pending[len(results):]:
+                    self._send(protocol.request(rid, op, args))
+                while len(results) < len(pending):
+                    rid = pending[len(results)][0]
+                    results.append(self.take_result(self._recv(), rid))
+                if self._breaker is not None:
+                    self._breaker.record_success()
+                return results
+            except ConnectionLost:
+                self._drop_socket()
+                if self._breaker is not None:
+                    self._breaker.record_failure()
+                if self._retry is None or \
+                        attempt >= self._retry.max_retries:
+                    raise
+                self._retry.backoff(attempt)
+                attempt += 1
+                self._try_reconnect()
 
     def batch(self, requests: List[Tuple[str, Dict]]) -> List[Any]:
         """Pack many requests into one frame (one syscall each way)."""
@@ -167,13 +358,35 @@ class SyncTerpClient(_ClientCore):
             rid = self.next_id()
             rids.append(rid)
             packed.append(protocol.request(rid, op, args))
-        protocol.send_frame(self._sock, packed)
-        responses = protocol.recv_frame(self._sock)
-        if not isinstance(responses, list) or \
-                len(responses) != len(rids):
-            raise WireError("batch response shape mismatch")
-        return [self.take_result(response, rid)
-                for response, rid in zip(responses, rids)]
+        readonly = all(op in READ_ONLY_OPS for op, _ in requests)
+        attempt = 0
+        while True:
+            self._check_breaker(requests[0][0] if requests else "ping",
+                                readonly=readonly)
+            try:
+                self._send(packed)
+                responses = self._recv()
+                if responses is None:
+                    raise ConnectionLost(
+                        "server closed before the batch response")
+                if not isinstance(responses, list) or \
+                        len(responses) != len(rids):
+                    raise WireError("batch response shape mismatch")
+                results = [self.take_result(response, rid)
+                           for response, rid in zip(responses, rids)]
+                if self._breaker is not None:
+                    self._breaker.record_success()
+                return results
+            except ConnectionLost:
+                self._drop_socket()
+                if self._breaker is not None:
+                    self._breaker.record_failure()
+                if self._retry is None or \
+                        attempt >= self._retry.max_retries:
+                    raise
+                self._retry.backoff(attempt)
+                attempt += 1
+                self._try_reconnect()
 
     # -- Table I convenience ----------------------------------------------
 
@@ -260,19 +473,38 @@ class TerpClient(_ClientCore):
                  port: Optional[int] = None,
                  unix_path: Optional[str] = None,
                  user: str = "root",
-                 ew_budget_us: Optional[float] = None) -> None:
+                 ew_budget_us: Optional[float] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 breaker: Optional[CircuitBreaker] = None,
+                 strict_resume: bool = False) -> None:
         super().__init__()
         if (port is None) == (unix_path is None):
             raise TerpError("give exactly one of port / unix_path")
         self._host, self._port, self._unix = host, port, unix_path
         self._user, self._budget = user, ew_budget_us
+        self._retry = retry
+        self._breaker = breaker
+        self._strict_resume = strict_resume
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._pending: Deque[Tuple[int, asyncio.Future]] = \
             collections.deque()
         self._pump: Optional[asyncio.Task] = None
 
+    def _hello_args(self) -> Dict[str, Any]:
+        args: Dict[str, Any] = {"user": self._user}
+        if self._budget is not None:
+            args["ew_budget_us"] = self._budget
+        return args
+
     async def connect(self) -> "TerpClient":
+        await self._open_transport()
+        result = await (await self._submit(
+            self.next_id(), "hello", self._hello_args()))
+        self.note_hello(result)
+        return self
+
+    async def _open_transport(self) -> None:
         if self._unix is not None:
             self._reader, self._writer = \
                 await asyncio.open_unix_connection(self._unix)
@@ -280,11 +512,6 @@ class TerpClient(_ClientCore):
             self._reader, self._writer = \
                 await asyncio.open_connection(self._host, self._port)
         self._pump = asyncio.create_task(self._pump_responses())
-        args: Dict[str, Any] = {"user": self._user}
-        if self._budget is not None:
-            args["ew_budget_us"] = self._budget
-        self.note_hello(await self.call("hello", **args))
-        return self
 
     async def close(self) -> None:
         if self._pump is not None:
@@ -302,6 +529,32 @@ class TerpClient(_ClientCore):
                 pass
             self._writer = None
 
+    async def _reconnect(self) -> None:
+        """Transport back up, then resume (or replace) the session."""
+        await self.close()
+        await self._open_transport()
+        args = self._hello_args()
+        if self.session_id is not None and self.resume_token:
+            try:
+                result = await (await self._submit(
+                    self.next_id(), "hello",
+                    dict(args, resume=self.session_id,
+                         token=self.resume_token)))
+                self.note_hello(result)
+                self.resumes += 1
+                return
+            except ConnectionLost:
+                raise
+            except RemoteError as exc:
+                self.sessions_lost += 1
+                if self._strict_resume:
+                    raise SessionLost(
+                        f"session {self.session_id} not resumable: "
+                        f"{exc.remote_message}") from exc
+        result = await (await self._submit(self.next_id(), "hello",
+                                           args))
+        self.note_hello(result)
+
     async def __aenter__(self) -> "TerpClient":
         return await self.connect()
 
@@ -314,7 +567,7 @@ class TerpClient(_ClientCore):
             while True:
                 response = await protocol.read_frame(self._reader)
                 if response is None:
-                    raise WireError("server closed the connection")
+                    raise ConnectionLost("server closed the connection")
                 if not self._pending:
                     raise WireError("unsolicited response frame")
                 rid, future = self._pending.popleft()
@@ -324,29 +577,75 @@ class TerpClient(_ClientCore):
                             self.take_result(response, rid))
                     except (RemoteError, WireError) as exc:
                         future.set_exception(exc)
-        except (WireError, ConnectionResetError) as exc:
+        except (WireError, ConnectionResetError, ConnectionLost) as exc:
             while self._pending:
                 _, future = self._pending.popleft()
                 if not future.done():
-                    future.set_exception(WireError(str(exc)))
+                    future.set_exception(ConnectionLost(str(exc)))
         except asyncio.CancelledError:
             while self._pending:
                 _, future = self._pending.popleft()
                 if not future.done():
-                    future.set_exception(WireError("client closed"))
+                    future.set_exception(
+                        ConnectionLost("client closed"))
             raise
+
+    async def _submit(self, rid: int, op: str,
+                      args: Dict[str, Any]) -> "asyncio.Future":
+        if self._writer is None:
+            raise ConnectionLost("not connected")
+        future = asyncio.get_running_loop().create_future()
+        self._pending.append((rid, future))
+        try:
+            await protocol.write_frame(self._writer,
+                                       protocol.request(rid, op, args))
+        except (ConnectionResetError, BrokenPipeError, OSError) as exc:
+            raise ConnectionLost(f"send failed: {exc}") from exc
+        return future
 
     async def submit(self, op: str, **args: Any) -> "asyncio.Future":
         """Fire a request; returns the future of its result."""
-        rid = self.next_id()
-        future = asyncio.get_running_loop().create_future()
-        self._pending.append((rid, future))
-        await protocol.write_frame(self._writer,
-                                   protocol.request(rid, op, args))
-        return future
+        return await self._submit(self.next_id(), op, args)
 
     async def call(self, op: str, **args: Any) -> Any:
-        return await (await self.submit(op, **args))
+        rid = self.next_id()
+        attempt = 0
+        while True:
+            if self._breaker is not None and not self._breaker.allow(
+                    readonly=op in READ_ONLY_OPS):
+                raise CircuitOpenError(
+                    f"circuit open: refusing {op!r}; only read-only "
+                    "operations pass until the server recovers")
+            try:
+                result = await (await self._submit(rid, op, args))
+            except ConnectionLost:
+                if self._breaker is not None:
+                    self._breaker.record_failure()
+                if self._retry is None or \
+                        attempt >= self._retry.max_retries:
+                    raise
+                await asyncio.sleep(self._retry.delay_for(attempt))
+                attempt += 1
+                try:
+                    await self._reconnect()
+                except SessionLost:
+                    raise
+                except (OSError, TerpError):
+                    pass
+                continue
+            except RemoteError as exc:
+                if self._breaker is not None:
+                    self._breaker.record_success()
+                if self._retry is not None and \
+                        exc.kind in RETRYABLE_KINDS and \
+                        attempt < self._retry.max_retries:
+                    await asyncio.sleep(self._retry.delay_for(attempt))
+                    attempt += 1
+                    continue
+                raise
+            if self._breaker is not None:
+                self._breaker.record_success()
+            return result
 
     # -- Table I convenience ----------------------------------------------
 

@@ -132,7 +132,17 @@ class ServiceMetrics:
             "connection teardown")
         self._sweep_runs = reg.counter(
             "terpd_sweep_runs_total", "sweeper passes")
+        self._faults_injected = reg.counter(
+            "terpd_faults_injected_total", "fault-injection rules "
+            "fired across every site")
+        self._sessions_resumed = reg.counter(
+            "terpd_sessions_resumed_total", "sessions rebound after a "
+            "connection drop")
+        self._replays_served = reg.counter(
+            "terpd_replays_served_total", "responses served from the "
+            "idempotent replay cache")
         self._op_counters: Dict[str, Counter] = {}
+        self._fault_site_counters: Dict[str, Counter] = {}
         self.request_latency = reg.histogram(
             "terpd_request_latency_ns", "request service time",
             buckets=LATENCY_BUCKETS_NS, reservoir_capacity=8192, seed=7)
@@ -181,6 +191,22 @@ class ServiceMetrics:
     def note_disconnect_detach(self) -> None:
         self._disconnect_detaches.inc()
 
+    def note_fault(self, site: str) -> None:
+        self._faults_injected.inc()
+        counter = self._fault_site_counters.get(site)
+        if counter is None:
+            counter = self.registry.counter(
+                "terpd_fault_site_total", "injections per site",
+                labels={"site": site})
+            self._fault_site_counters[site] = counter
+        counter.inc()
+
+    def note_session_resumed(self) -> None:
+        self._sessions_resumed.inc()
+
+    def note_replay_served(self) -> None:
+        self._replays_served.inc()
+
     # -- read side --------------------------------------------------------
 
     @property
@@ -224,6 +250,23 @@ class ServiceMetrics:
         return self._sweep_runs.value
 
     @property
+    def faults_injected(self) -> int:
+        return self._faults_injected.value
+
+    @property
+    def sessions_resumed(self) -> int:
+        return self._sessions_resumed.value
+
+    @property
+    def replays_served(self) -> int:
+        return self._replays_served.value
+
+    @property
+    def faults_by_site(self) -> Dict[str, int]:
+        return {site: counter.value
+                for site, counter in self._fault_site_counters.items()}
+
+    @property
     def ops(self) -> Dict[str, int]:
         return {op: counter.value
                 for op, counter in self._op_counters.items()}
@@ -240,6 +283,10 @@ class ServiceMetrics:
             "forced_detaches": self.forced_detaches,
             "disconnect_detaches": self.disconnect_detaches,
             "sweep_runs": self.sweep_runs,
+            "faults_injected": self.faults_injected,
+            "faults_by_site": self.faults_by_site,
+            "sessions_resumed": self.sessions_resumed,
+            "replays_served": self.replays_served,
             "ops": self.ops,
             "request_latency": _histogram_latency_dict(
                 self.request_latency),

@@ -33,7 +33,8 @@ import time
 from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
 from repro.arch.cond_engine import TerpArchEngine
-from repro.core.errors import PmoError, TerpError
+from repro.core.errors import Busy, InjectedCrash, PmoError, TerpError
+from repro.faults.plan import FaultPlan, Injection
 from repro.mem.mpk import NUM_KEYS
 from repro.core.permissions import Access
 from repro.obs import Observability
@@ -53,16 +54,21 @@ from repro.service.sessions import Session, SessionRegistry
 DEFAULT_SESSION_EW_NS = 50_000_000
 #: Default sweep period: 10ms, a 5x oversampling of the budget.
 DEFAULT_SWEEP_PERIOD_NS = 10_000_000
+#: How long a dropped session's identity lingers for resume: 2s.
+DEFAULT_SESSION_LINGER_NS = 2_000_000_000
 
 
 class _Conn:
     """Per-connection state: the bound session, once hello'd."""
 
-    __slots__ = ("session", "peer")
+    __slots__ = ("session", "peer", "generation")
 
     def __init__(self, peer: str) -> None:
         self.session: Optional[Session] = None
         self.peer = peer
+        #: the session's bind generation this connection owns; teardown
+        #: only unbinds if no newer connection has resumed the session.
+        self.generation = 0
 
 
 class TerpService:
@@ -77,7 +83,11 @@ class TerpService:
                  cb_capacity: int = 32,
                  seed: int = 2022,
                  obs: Optional[Observability] = None,
-                 obs_enabled: bool = True) -> None:
+                 obs_enabled: bool = True,
+                 faults: Optional[FaultPlan] = None,
+                 max_sessions: Optional[int] = None,
+                 session_linger_ns: int = DEFAULT_SESSION_LINGER_NS) \
+            -> None:
         if port is None and unix_path is None:
             raise TerpError("need a TCP port and/or a unix socket path")
         self.host = host
@@ -100,10 +110,21 @@ class TerpService:
         engine.on_forced_detach = self._on_engine_forced_detach
         engine.tracer = self._tracer
         self.engine = engine
+        #: Optional deterministic fault-injection plan.  One plan is
+        #: shared by every layer: the library's storage sites, the
+        #: engine's capacity sites, and the server's connection sites
+        #: all consume arrivals from the same seeded schedule, and each
+        #: firing lands on the audit timeline as a ``fault`` event.
+        self.faults = faults
+        if faults is not None:
+            engine.faults = faults
+            faults.on_fire = self._note_injection
+        self.max_sessions = max_sessions
+        self.session_linger_ns = session_linger_ns
         self.lib = PmoLibrary(semantics=engine, seed=seed, strict=True,
-                              obs=self.obs)
+                              obs=self.obs, faults=faults)
         self.registry = SessionRegistry(
-            default_ew_budget_ns=session_ew_ns)
+            default_ew_budget_ns=session_ew_ns, token_seed=seed)
         self.metrics = ServiceMetrics(self.obs.registry)
         self._sessions_gauge = self.obs.registry.gauge(
             "terpd_sessions", "currently bound sessions")
@@ -148,6 +169,18 @@ class TerpService:
     def now_ns(self) -> int:
         """Monotonic nanoseconds since service construction."""
         return time.monotonic_ns() - self._t0
+
+    # -- fault-injection hook -------------------------------------------------
+
+    def _note_injection(self, injection: Injection) -> None:
+        """Every fired rule lands on the audit timeline, so a chaos
+        run's faults and its exposure events share one record."""
+        if self.obs.enabled:
+            self.obs.audit.record_fault(
+                injection.site, injection.kind, self.lib.clock_ns,
+                detail=f"rule {injection.rule_index} "
+                       f"arrival {injection.arrival}")
+        self.metrics.note_fault(injection.site)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -211,6 +244,17 @@ class TerpService:
         """
         t_wall = time.perf_counter_ns()
         tracer = self._tracer
+        if self.faults is not None:
+            rule = self.faults.fire("engine.sweep_stall")
+            if rule is not None:
+                # A stalled sweeper skips this pass entirely (both the
+                # session-budget phase and the engine sweep).  Expired
+                # windows stay open until the next pass: enforcement is
+                # delayed by one period, never lost — the invariant
+                # checker's slack budgets for exactly this.
+                if rule.delay_ns > 0:
+                    time.sleep(rule.delay_ns / 1e9)
+                return 0
         forced = 0
         with self.lib.lock:
             now = self.lib.advance_to(self.now_ns())
@@ -223,6 +267,12 @@ class TerpService:
                 engine_closed = len(self.lib.runtime.sweep(now))
                 span.set("forced", forced)
                 span.set("engine_closed", engine_closed)
+            for session in self.registry.lingering():
+                # Dropped sessions hold no windows (teardown released
+                # them); after the linger grace their identity and
+                # replay cache go too.
+                if session.linger_expired(now, self.session_linger_ns):
+                    self.registry.remove(session.session_id)
             if self.obs.enabled and (forced or engine_closed):
                 self.obs.audit.record_sweep(
                     now, closed=forced + engine_closed,
@@ -248,12 +298,30 @@ class TerpService:
 
     def _release_session(self, session: Session, now_ns: int, *,
                          reason: str) -> int:
-        """Detach everything a departing session still holds."""
-        released = self.lib.runtime.release_entity(session.entity_id,
-                                                   now_ns)
+        """Detach everything a departing session still holds.
+
+        A graceful departure (``goodbye``, shutdown) closes windows as
+        ordinary detaches; an involuntary one (connection lost, an
+        injected mid-request crash) closes them *forced*, with the
+        reason on the audit timeline — the invariant checker insists
+        every forced close is attributed.
+        """
+        forced = reason not in ("goodbye", "shutdown")
+        released = self.lib.runtime.release_entity(
+            session.entity_id, now_ns, forced=forced, reason=reason)
         for pmo_id, _ in released:
-            session.note_detach(pmo_id)
-            if reason == "disconnect":
+            if forced:
+                # Mark the pair forced so a *resumed* session's stale
+                # detach is the defined silent no-op, and queue the
+                # forced-detach event for its next response.
+                try:
+                    name = self.lib.manager.get(pmo_id).name
+                except PmoError:
+                    name = str(pmo_id)
+                session.note_forced_detach(pmo_id, name, now_ns, reason)
+            else:
+                session.note_detach(pmo_id)
+            if reason == "connection lost":
                 self.metrics.note_disconnect_detach()
         session.attached_at.clear()
         return len(released)
@@ -285,28 +353,67 @@ class TerpService:
             writer.get_extra_info("sockname") or "unix"
         conn = _Conn(str(peer))
         self._writers.add(writer)
+        faults = self.faults
         try:
             while True:
                 payload = await protocol.read_frame(reader)
                 if payload is None:
                     break
-                if isinstance(payload, list):
-                    self.metrics.note_batch()
-                    response: Any = [self._dispatch(conn, one)
-                                     for one in payload]
-                else:
-                    response = self._dispatch(conn, payload)
+                if faults is not None and \
+                        faults.fire("server.conn_drop") is not None:
+                    # The connection dies before the request runs: the
+                    # client's retry re-sends it and it executes once.
+                    break
+                if faults is not None and \
+                        faults.fire("server.session_crash") is not None:
+                    # The session's handler "process" dies before the
+                    # request runs: windows force-closed, identity gone
+                    # for good (no resume), connection severed.
+                    self._crash_session(conn)
+                    break
+                try:
+                    if isinstance(payload, list):
+                        self.metrics.note_batch()
+                        response: Any = [self._dispatch(conn, one)
+                                         for one in payload]
+                    else:
+                        response = self._dispatch(conn, payload)
+                except InjectedCrash:
+                    # A crash-kind storage fault mid-request: no
+                    # response ever leaves; the crash-torture harness
+                    # snapshots the persistent bytes at this instant.
+                    self._crash_session(conn)
+                    break
+                if faults is not None:
+                    rule = faults.fire("server.delay_response")
+                    if rule is not None and rule.delay_ns > 0:
+                        await asyncio.sleep(rule.delay_ns / 1e9)
+                    rule = faults.fire("server.partial_frame")
+                    if rule is not None:
+                        # The request executed; only a truncated frame
+                        # escapes.  The retried request hits the
+                        # replay cache, not a second execution.
+                        frame = protocol.encode_frame(response)
+                        writer.write(frame[:max(1, len(frame) // 2)])
+                        await writer.drain()
+                        break
                 await protocol.write_frame(writer, response)
         except (WireError, ConnectionResetError, BrokenPipeError):
             pass
         finally:
             self._writers.discard(writer)
-            if conn.session is not None and not conn.session.closed:
+            session = conn.session
+            if session is not None and not session.closed and \
+                    session.generation == conn.generation:
+                # Temporal protection does not wait for a resume: every
+                # window closes *now*, forced and attributed.  Only the
+                # session's identity (token, replay cache, events)
+                # lingers for a possible rebind.
                 with self.lib.lock:
                     now = self.lib.advance_to(self.now_ns())
-                    self._release_session(conn.session, now,
-                                          reason="disconnect")
-                self.registry.remove(conn.session.session_id)
+                    self._release_session(session, now,
+                                          reason="connection lost")
+                    session.unbind(now)
                 self.metrics.note_session_closed()
                 self._sessions_gauge.set(len(self.registry))
             writer.close()
@@ -315,6 +422,20 @@ class TerpService:
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
+    def _crash_session(self, conn: _Conn) -> None:
+        """An injected mid-request crash: the session dies for good."""
+        session = conn.session
+        conn.session = None
+        if session is None or session.closed:
+            return
+        with self.lib.lock:
+            now = self.lib.advance_to(self.now_ns())
+            self._release_session(session, now,
+                                  reason="session crashed (injected)")
+        self.registry.remove(session.session_id)
+        self.metrics.note_session_closed()
+        self._sessions_gauge.set(len(self.registry))
+
     # -- dispatch --------------------------------------------------------------
 
     def _dispatch(self, conn: _Conn, req: Any) -> Dict:
@@ -322,6 +443,14 @@ class TerpService:
         rid = req.get("id") if isinstance(req, dict) else None
         op = req.get("op") if isinstance(req, dict) else None
         session = conn.session
+        if session is not None and isinstance(rid, int):
+            # Idempotent replay: a request the server already executed
+            # (the drop ate the response) returns its original
+            # response instead of running twice.
+            cached = session.replay_get(rid)
+            if cached is not None:
+                self.metrics.note_replay_served()
+                return cached
         try:
             if not isinstance(req, dict) or not isinstance(op, str):
                 raise WireError("request must be an object with an 'op'")
@@ -341,6 +470,13 @@ class TerpService:
             events = session.drain_events() if session else None
             response = ok_response(rid, result, events)
             ok = True
+            if session is not None and isinstance(rid, int):
+                # Only successes are cached: a retried failure must
+                # re-execute, or a transient error would replay as a
+                # permanent one.
+                session.replay_put(rid, response)
+        except InjectedCrash:
+            raise                      # the "process" dies mid-request
         except (TerpError, WireError) as exc:
             events = session.drain_events() if session else None
             response = error_response(rid, type(exc).__name__, str(exc),
@@ -371,18 +507,53 @@ class TerpService:
         if version != PROTOCOL_VERSION:
             raise TerpError(f"protocol version {version} unsupported; "
                             f"server speaks {PROTOCOL_VERSION}")
-        budget_us = args.get("ew_budget_us")
-        budget_ns = None if budget_us is None else int(
-            float(budget_us) * 1_000)
-        session = self.registry.create(
-            user=str(args.get("user", "root")), ew_budget_ns=budget_ns)
+        resume = args.get("resume")
+        if resume is not None:
+            session = self._resume_session(int(resume),
+                                           str(args.get("token", "")))
+        else:
+            if self.max_sessions is not None and \
+                    len(self.registry) >= self.max_sessions:
+                # Bounded backpressure: the table is full *right now*;
+                # the kind is retryable, so well-behaved clients back
+                # off instead of hammering.
+                raise Busy(f"session table full "
+                           f"({self.max_sessions}); retry later")
+            budget_us = args.get("ew_budget_us")
+            budget_ns = None if budget_us is None else int(
+                float(budget_us) * 1_000)
+            session = self.registry.create(
+                user=str(args.get("user", "root")),
+                ew_budget_ns=budget_ns)
+        conn.generation = session.bind()
         conn.session = session
         self.metrics.note_session_opened()
         self._sessions_gauge.set(len(self.registry))
         return {"session": session.session_id,
                 "entity": session.entity_id,
                 "version": PROTOCOL_VERSION,
-                "ew_budget_us": session.ew_budget_ns / 1_000}
+                "ew_budget_us": session.ew_budget_ns / 1_000,
+                "token": session.resume_token,
+                "resumed": resume is not None}
+
+    def _resume_session(self, session_id: int, token: str) -> Session:
+        """Rebind a lingering session after a connection drop.
+
+        Resume restores *identity* (entity id, replay cache, pending
+        events), never access: the drop already force-closed every
+        window, so a resumed session starts with nothing attached.
+        """
+        session = self.registry.find(session_id)
+        if session is None or session.closed:
+            raise TerpError(f"no session {session_id} to resume")
+        if not token or token != session.resume_token:
+            raise TerpError(f"bad resume token for session "
+                            f"{session_id}")
+        if session.bound:
+            raise TerpError(f"session {session_id} is still bound "
+                            "to a live connection")
+        self.metrics.note_session_resumed()
+        return session
 
     def _op_goodbye(self, conn: _Conn, args: Dict) -> Dict:
         session = conn.session

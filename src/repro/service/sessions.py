@@ -14,16 +14,39 @@ after which the daemon's sweeper force-detaches anything the session
 still holds.  The budget is the server default unless the client
 negotiated a tighter one in ``hello`` (never a looser one — a tenant
 cannot opt out of temporal protection).
+
+Robustness state (the chaos-tolerant parts):
+
+* **resume token** — issued at ``hello``; a client whose connection
+  dropped proves identity with it to rebind the same session.  A
+  dropped session *lingers* (identity, replay cache, pending events)
+  for ``linger`` long, but its exposure windows are force-closed at
+  the instant of the drop — resumption restores identity, never
+  access.
+* **replay cache** — the last successful responses keyed by request
+  id.  A client that retries a request the server already executed
+  (the drop ate the response, not the request) gets the original
+  response back instead of a second execution.
+* **bounded event queue** — out-of-band notifications are capped;
+  under backpressure the oldest are dropped and counted rather than
+  growing without bound.
 """
 
 from __future__ import annotations
 
 import itertools
+import random
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Set
+from typing import Deque, Dict, Iterator, List, Optional, Set
 
 from repro.core.errors import TerpError
 from repro.service.metrics import SessionMetrics
+
+#: Successful responses remembered per session for idempotent replay.
+REPLAY_CACHE_SIZE = 256
+#: Pending out-of-band events kept per session (backpressure bound).
+MAX_PENDING_EVENTS = 256
 
 
 @dataclass
@@ -34,16 +57,33 @@ class Session:
     entity_id: int
     user: str
     ew_budget_ns: int
+    #: proves identity on resume; never logged, never in metrics.
+    resume_token: str = ""
     #: pmo_id -> attach timestamp (service clock, ns); the sweeper's
     #: input for session-scoped exposure enforcement.
     attached_at: Dict[int, int] = field(default_factory=dict)
-    #: out-of-band notifications delivered with the next response.
-    events: List[dict] = field(default_factory=list)
+    #: out-of-band notifications delivered with the next response —
+    #: bounded: the oldest are dropped (and counted) at the cap.
+    events: Deque[dict] = field(
+        default_factory=lambda: deque(maxlen=MAX_PENDING_EVENTS))
+    events_dropped: int = 0
     #: PMOs the sweeper detached on this session's behalf; the
     #: session's own (racing) detach of these is a silent no-op.
     forced_pmos: Set[int] = field(default_factory=set)
     metrics: SessionMetrics = field(default_factory=SessionMetrics)
     closed: bool = False
+    #: None while a connection is bound; the drop timestamp (service
+    #: clock) while lingering for resume.
+    disconnected_at_ns: Optional[int] = None
+    #: bumped on every (re)bind; a connection only tears the session
+    #: down if it still owns the latest bind.
+    generation: int = 0
+    #: request id -> successful response, for idempotent replay.
+    replay: "OrderedDict[int, dict]" = field(
+        default_factory=OrderedDict)
+    replays_served: int = 0
+
+    # -- exposure bookkeeping ---------------------------------------------
 
     def note_attach(self, pmo_id: int, now_ns: int) -> None:
         self.attached_at[pmo_id] = now_ns
@@ -59,7 +99,7 @@ class Session:
         self.attached_at.pop(pmo_id, None)
         self.forced_pmos.add(pmo_id)
         self.metrics.forced_detaches += 1
-        self.events.append({
+        self.push_event({
             "event": "forced-detach",
             "pmo": pmo_name,
             "pmo_id": pmo_id,
@@ -73,9 +113,49 @@ class Session:
         return [pmo_id for pmo_id, since in self.attached_at.items()
                 if now_ns - since >= self.ew_budget_ns]
 
+    # -- events (bounded) --------------------------------------------------
+
+    def push_event(self, event: dict) -> None:
+        if len(self.events) == self.events.maxlen:
+            self.events_dropped += 1
+        self.events.append(event)
+
     def drain_events(self) -> List[dict]:
-        events, self.events = self.events, []
+        events = list(self.events)
+        self.events.clear()
         return events
+
+    # -- connection binding / resume ---------------------------------------
+
+    @property
+    def bound(self) -> bool:
+        return not self.closed and self.disconnected_at_ns is None
+
+    def bind(self) -> int:
+        """(Re)bind a connection; returns the new bind generation."""
+        self.disconnected_at_ns = None
+        self.generation += 1
+        return self.generation
+
+    def unbind(self, now_ns: int) -> None:
+        self.disconnected_at_ns = now_ns
+
+    def linger_expired(self, now_ns: int, linger_ns: int) -> bool:
+        return self.disconnected_at_ns is not None and \
+            now_ns - self.disconnected_at_ns >= linger_ns
+
+    # -- idempotent replay -------------------------------------------------
+
+    def replay_put(self, rid: int, response: dict) -> None:
+        self.replay[rid] = response
+        while len(self.replay) > REPLAY_CACHE_SIZE:
+            self.replay.popitem(last=False)
+
+    def replay_get(self, rid: int) -> Optional[dict]:
+        response = self.replay.get(rid)
+        if response is not None:
+            self.replays_served += 1
+        return response
 
 
 class SessionRegistry:
@@ -83,17 +163,21 @@ class SessionRegistry:
 
     Entity ids start above any plausible in-process thread id so a
     hybrid embedding (local threads + remote sessions on one library)
-    cannot collide.
+    cannot collide.  ``len()`` counts *bound* sessions (what ``ping``
+    and the sessions gauge report); iteration covers lingering ones
+    too, so the sweeper can purge them.
     """
 
     FIRST_ENTITY_ID = 1 << 20
 
-    def __init__(self, *, default_ew_budget_ns: int) -> None:
+    def __init__(self, *, default_ew_budget_ns: int,
+                 token_seed: Optional[int] = None) -> None:
         if default_ew_budget_ns <= 0:
             raise TerpError("default_ew_budget_ns must be positive")
         self.default_ew_budget_ns = default_ew_budget_ns
         self._sessions: Dict[int, Session] = {}
         self._next = itertools.count(1)
+        self._token_rng = random.Random(token_seed)
 
     def create(self, *, user: str = "root",
                ew_budget_ns: Optional[int] = None) -> Session:
@@ -106,7 +190,8 @@ class SessionRegistry:
             budget = min(budget, ew_budget_ns)
         session = Session(session_id=sid,
                           entity_id=self.FIRST_ENTITY_ID + sid,
-                          user=user, ew_budget_ns=budget)
+                          user=user, ew_budget_ns=budget,
+                          resume_token=f"{self._token_rng.getrandbits(128):032x}")
         self._sessions[sid] = session
         return session
 
@@ -115,6 +200,9 @@ class SessionRegistry:
         if session is None:
             raise TerpError(f"no session {session_id}")
         return session
+
+    def find(self, session_id: int) -> Optional[Session]:
+        return self._sessions.get(session_id)
 
     def remove(self, session_id: int) -> Optional[Session]:
         session = self._sessions.pop(session_id, None)
@@ -128,8 +216,11 @@ class SessionRegistry:
                 return session
         return None
 
+    def lingering(self) -> List[Session]:
+        return [s for s in self._sessions.values() if not s.bound]
+
     def __iter__(self) -> Iterator[Session]:
         return iter(list(self._sessions.values()))
 
     def __len__(self) -> int:
-        return len(self._sessions)
+        return sum(1 for s in self._sessions.values() if s.bound)

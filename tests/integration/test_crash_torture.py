@@ -12,7 +12,10 @@ may expose a torn structure.
 import pytest
 
 from repro.core.units import MIB
+from repro.faults.plan import FaultPlan, FaultRule
 from repro.pmo.pmo import Pmo, SparseBytes
+from repro.service.client import ConnectionLost, SyncTerpClient
+from repro.service.server import ServiceThread, TerpService
 from repro.workloads.structures import (
     CritBitTree, PersistentHashMap, TpccDatabase, VersionedKvStore)
 
@@ -174,3 +177,84 @@ class TestTpccTorture:
 
         crash_points_for(build, committed, crashing,
                          TpccDatabase.open, check)
+
+
+class TestTerpdSessionCrashTorture:
+    """The same every-crash-point discipline, against a live terpd.
+
+    A session opens a transaction and writes N values; an injected
+    crash kills the session at every K-th storage write.  The media
+    snapshot at that instant goes through full recovery (header
+    validation, redo-log replay) — the transaction must be invisible
+    (all old values, never a mix), and the audit timeline must show a
+    forced detach attributing the dead session's teardown.
+    """
+
+    N_WRITES = 4
+
+    def run_crash_at(self, k):
+        plan = FaultPlan(seed=k, rules=[
+            FaultRule("lib.storage_write", "crash", after=k, count=1)])
+        plan.disarm()
+        service = TerpService(port=0, seed=9, faults=plan,
+                              session_ew_ns=1_000_000_000)
+        with ServiceThread(service) as svc:
+            port = svc.bound_port
+            with SyncTerpClient(port=port, user="admin") as admin:
+                admin.create("txpmo", 1 << 20, mode=0o666)
+                oids = [admin.pmalloc("txpmo", 8)
+                        for _ in range(self.N_WRITES)]
+                admin.attach("txpmo")
+                for i, oid in enumerate(oids):
+                    admin.write_u64(oid, 100 + i)   # committed base
+                admin.detach("txpmo")
+            client = SyncTerpClient(port=port, user="victim")
+            client.connect()
+            client.attach("txpmo")
+            client.tx_begin("txpmo")
+            plan.arm()
+            crashed = False
+            try:
+                for i, oid in enumerate(oids):
+                    client.write_u64(oid, 200 + i)
+                client.psync("txpmo")
+                client.detach("txpmo")
+                client.goodbye()
+            except ConnectionLost:
+                crashed = True
+            plan.disarm()
+            client.close()
+            with service.lib.lock:
+                pmo = service.lib.manager.lookup("txpmo")
+                snapshot = pmo.storage.snapshot()
+            events = service.obs.audit.events()
+        recovered = Pmo.from_snapshot(pmo.pmo_id, "txpmo", snapshot)
+        values = [recovered.read_u64(oid.offset) for oid in oids]
+        return crashed, values, events
+
+    def test_every_crash_point_recovers_untorn(self):
+        tested = 0
+        for k in range(self.N_WRITES + 1):
+            crashed, values, events = self.run_crash_at(k)
+            if crashed:
+                tested += 1
+                # The uncommitted transaction is wholly invisible:
+                # recovery yields the committed base, never a mix.
+                assert values == [100 + i
+                                  for i in range(self.N_WRITES)], \
+                    f"torn recovery at crash point {k}: {values}"
+                assert any(
+                    e["kind"] == "forced-detach"
+                    and "session crashed" in e["reason"]
+                    for e in events), \
+                    f"no attributed forced detach at crash point {k}"
+                assert any(
+                    e["kind"] == "fault"
+                    and "lib.storage_write [crash]" in e["reason"]
+                    for e in events)
+            else:
+                # K past the transaction's write count: it commits.
+                assert k == self.N_WRITES
+                assert values == [200 + i
+                                  for i in range(self.N_WRITES)]
+        assert tested == self.N_WRITES
