@@ -1,0 +1,181 @@
+#!/usr/bin/env python
+"""Out-of-process recovery smoke: kill -9 a real terpd, restart, check.
+
+The in-tree tests crash the daemon *in process* (``ServiceThread.kill``)
+so they can reach into both incarnations.  This script is the
+no-cheating version CI runs: a real subprocess daemon on a durable
+pool, a real ``SIGKILL``, a second subprocess on the same directory,
+and only the wire API (plus the audit trace it serves) to judge:
+
+  1. committed data survives the crash byte-for-byte,
+  2. the dropped session resumes with its pre-crash token and id,
+  3. the holding that outlived its EW budget during the outage was
+     force-detached at recovery and attributed to the outage.
+
+Exit status 0 iff all three hold.  Usage::
+
+    PYTHONPATH=src python scripts/recovery_smoke.py [--keep]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.service.client import SyncTerpClient  # noqa: E402
+
+SERVING = re.compile(r"terpd serving on tcp://[^:]+:(\d+)")
+
+#: Generous budget so the live daemon never sweeps the squatter —
+#: only the outage (which dwarfs it) can make the holding overdue.
+SESSION_EW_MS = 150.0
+OUTAGE_S = 0.5
+
+PAYLOAD = b"recovery smoke payload: " + bytes(range(256)) * 16
+
+
+def start_daemon(pool_dir: str) -> "tuple[subprocess.Popen, int]":
+    """Spawn terpd on an ephemeral port; return (process, port)."""
+    proc = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro.service",
+         "--port", "0", "--pool-dir", pool_dir,
+         "--session-ew-ms", str(SESSION_EW_MS),
+         "--sweep-period-ms", "5",
+         "--resume-linger-ms", "10000"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env={**os.environ,
+             "PYTHONPATH": os.pathsep.join(
+                 p for p in (os.environ.get("PYTHONPATH"), "src") if p)})
+    deadline = time.monotonic() + 20
+    assert proc.stdout is not None
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        sys.stdout.write(f"  [terpd] {line}")
+        match = SERVING.search(line)
+        if match:
+            return proc, int(match.group(1))
+    proc.kill()
+    raise RuntimeError("daemon never announced its port")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--keep", action="store_true",
+                        help="keep the pool directory for inspection")
+    args = parser.parse_args()
+
+    pool_dir = tempfile.mkdtemp(prefix="terp-recovery-smoke-")
+    print(f"pool: {pool_dir}")
+    failures: "list[str]" = []
+    proc_b = None
+
+    proc_a, port_a = start_daemon(pool_dir)
+    print(f"daemon A up on port {port_a} (pid {proc_a.pid})")
+    squatter = SyncTerpClient(port=port_a, user="squatter")
+    try:
+        with SyncTerpClient(port=port_a, user="writer") as writer:
+            writer.create("smoke", 1 << 20, mode=0o666)
+            writer.attach("smoke")
+            oid = writer.pmalloc("smoke", len(PAYLOAD))
+            writer.write(oid, PAYLOAD)
+            flushed = writer.psync("smoke")
+            print(f"committed {len(PAYLOAD)} bytes "
+                  f"({flushed} page(s) flushed)")
+            writer.detach("smoke")
+        squatter.connect()
+        squatter.attach("smoke")
+        sid = squatter.session_id
+        token = squatter.resume_token
+        print(f"squatter holding as session {sid}")
+
+        print(f"kill -9 {proc_a.pid}; outage {OUTAGE_S}s "
+              f"(budget {SESSION_EW_MS}ms)")
+        os.kill(proc_a.pid, signal.SIGKILL)
+        proc_a.wait(timeout=10)
+        squatter.close()
+        time.sleep(OUTAGE_S)
+
+        proc_b, port_b = start_daemon(pool_dir)
+        print(f"daemon B up on port {port_b} (pid {proc_b.pid})")
+
+        # (1) committed data intact
+        with SyncTerpClient(port=port_b, user="reader") as reader:
+            reader.attach("smoke", access="r")
+            got = reader.read(oid, len(PAYLOAD))
+            if got != PAYLOAD:
+                failures.append(
+                    f"data NOT intact: {len(got)} bytes, "
+                    f"first mismatch at "
+                    f"{next((i for i, (a, b) in enumerate(zip(got, PAYLOAD)) if a != b), '?')}")
+            else:
+                print("data intact: OK")
+            reader.detach("smoke")
+
+            # (3) outage-overdue holding force-detached and attributed
+            trace = reader.trace(limit=100)
+            forced = [e for e in trace["audit"]
+                      if e["kind"] == "forced-detach"]
+            attributed = [e for e in forced
+                          if "outage" in str(e.get("reason", ""))]
+            if not attributed:
+                failures.append(
+                    f"no outage-attributed forced detach in audit; "
+                    f"forced events: {forced}")
+            else:
+                print(f"outage attribution: OK "
+                      f"({attributed[0]['reason']!r})")
+            restarts = [e for e in trace["audit"]
+                        if e["kind"] == "restart"]
+            if not restarts:
+                failures.append("no restart event on audit timeline")
+            else:
+                print(f"restart on timeline: OK "
+                      f"(downtime {restarts[0]['duration_ns'] / 1e6:.0f}ms)")
+
+        # (2) session resumes by its pre-crash token
+        squatter._port = port_b
+        squatter._reconnect()
+        if squatter.resumes < 1 or squatter.session_id != sid \
+                or squatter.resume_token != token:
+            failures.append(
+                f"session did not resume: resumes={squatter.resumes} "
+                f"sid {squatter.session_id} (want {sid})")
+        else:
+            print(f"session resumed as {squatter.session_id}: OK")
+        squatter.goodbye()
+        squatter.close()
+    finally:
+        for proc in (proc_a, proc_b):
+            if proc is not None and proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+        if args.keep:
+            print(f"kept pool: {pool_dir}")
+        else:
+            shutil.rmtree(pool_dir, ignore_errors=True)
+
+    if failures:
+        print("\nrecovery smoke: FAIL")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nrecovery smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

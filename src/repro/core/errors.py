@@ -63,6 +63,32 @@ class CrashConsistencyError(PmoError):
     """The persistent log or snapshot is in an unrecoverable state."""
 
 
+class IntegrityError(PmoError):
+    """Persistent bytes failed verification (CRC mismatch) and no
+    repair source exists — bit rot, media decay, or tampering.
+
+    Carries the PMO name and the page index so the operator can
+    quarantine precisely.  Distinct from
+    :class:`CrashConsistencyError`: the *log* is fine, the *data* is
+    provably not what was written.
+    """
+
+    def __init__(self, message: str, *, pmo: str = "",
+                 page_index: int | None = None) -> None:
+        super().__init__(message)
+        self.pmo = pmo
+        self.page_index = page_index
+
+
+class TornPageError(IntegrityError):
+    """A page's home location failed verification but the double-write
+    journal holds a good copy — a write torn by a crash mid-flush.
+
+    Always repairable (that is the journal's reason to exist); raised
+    only when a caller asks for verification without repair.
+    """
+
+
 class Busy(TerpError):
     """A transient resource limit (e.g. the session table is full).
 

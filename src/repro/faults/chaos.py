@@ -10,13 +10,21 @@
    retry + circuit-breaker clients;
 4. require every request to be *acknowledged or typed-failed* — a
    hang, a silent loss, or an untyped exception fails the run;
-5. replay the audit timeline against invariants I1-I5
+5. replay the audit timeline against invariants I1-I6
    (:mod:`repro.faults.invariants`) with a slack derived from the
    faults that actually fired (each sweeper stall delays enforcement
    by one period; injected delays extend windows by their length).
 
+``run_restart_chaos(seed)`` is the kill-and-restart leg: the same
+machinery pointed at a durable pool directory, with torn-page faults
+injected into the store's home writes, an in-process SIGKILL while a
+squatter holds an attachment, an outage longer than the squatter's EW
+budget, and a warm restart that must repair, resume, force-detach,
+and keep I1-I6 green on the merged pre/post-crash timeline.
+
 Every verdict carries the seed and the minimal fault plan, so any
-failure reproduces with ``python -m repro.faults.chaos --seed N``.
+failure reproduces with ``python -m repro.faults.chaos --seed N``
+(add ``--restart`` for the restart leg).
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ import json
 import os
 import random
 import sys
+import tempfile
 import threading
 import time
 from dataclasses import dataclass, field
@@ -295,6 +304,222 @@ def run_chaos(seed: int, *, plan: Optional[FaultPlan] = None,
     return result
 
 
+def restart_plan(seed: int) -> FaultPlan:
+    """A seeded plan for the kill-and-restart leg.
+
+    Only *recoverable* faults: torn home-page writes (the journal is
+    the repair source) plus mild service-level noise.  ``store.bit_rot``
+    is deliberately absent — rot quarantines the workload PMO, and this
+    leg's property is that committed data survives the crash intact.
+    """
+    rng = random.Random(seed ^ 0x5EED)
+    rules: List[FaultRule] = []
+
+    def maybe(chance: float, make) -> None:
+        if rng.random() < chance:
+            rules.append(make())
+
+    maybe(0.7, lambda: FaultRule(
+        "store.torn_page", "torn",
+        probability=round(0.10 + 0.30 * rng.random(), 3),
+        count=rng.randint(1, 3)))
+    maybe(0.4, lambda: FaultRule(
+        "lib.psync_stall", "stall", probability=0.10, count=2,
+        delay_ns=rng.randrange(200_000, 1_500_000)))
+    maybe(0.4, lambda: FaultRule(
+        "engine.sweep_stall", "stall", probability=0.25,
+        count=rng.randint(1, 2)))
+    maybe(0.3, lambda: FaultRule(
+        "server.delay_response", "stall", probability=0.05, count=2,
+        delay_ns=rng.randrange(200_000, 1_500_000)))
+    return FaultPlan(seed=seed, rules=rules)
+
+
+@dataclass
+class RestartChaosResult:
+    """The verdict of one seeded kill-and-restart run."""
+
+    seed: int
+    report: InvariantReport
+    recovery: Dict[str, Any] = field(default_factory=dict)
+    data_intact: bool = False
+    session_resumed: bool = False
+    overdue_attributed: bool = False
+    pages_repaired: int = 0
+    faults_by_site: Dict[str, int] = field(default_factory=dict)
+    unexpected: List[str] = field(default_factory=list)
+    plan: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return (self.report.ok and not self.unexpected
+                and self.data_intact and self.session_resumed
+                and self.overdue_attributed)
+
+    def describe(self) -> str:
+        lines = [
+            f"restart chaos seed {self.seed}: "
+            f"{'OK' if self.ok else 'FAILED'}",
+            f"  data intact: {self.data_intact}, resumed: "
+            f"{self.session_resumed}, overdue attributed: "
+            f"{self.overdue_attributed}, pages repaired: "
+            f"{self.pages_repaired}",
+            f"  faults fired: {self.faults_by_site}",
+            f"  recovery: {self.recovery}",
+            f"  invariants: {self.report.describe()}",
+        ]
+        if self.unexpected:
+            lines.append(f"  UNEXPECTED: {self.unexpected}")
+        if not self.ok:
+            lines.append("  replay: python -m repro.faults.chaos "
+                         f"--restart --seed {self.seed}")
+            lines.append("  minimal plan: "
+                         + json.dumps(self.plan.get("rules", [])))
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "ok": self.ok,
+            "data_intact": self.data_intact,
+            "session_resumed": self.session_resumed,
+            "overdue_attributed": self.overdue_attributed,
+            "pages_repaired": self.pages_repaired,
+            "faults_by_site": self.faults_by_site,
+            "recovery": self.recovery,
+            "unexpected": self.unexpected,
+            "violations": [str(v) for v in self.report.violations],
+            "plan": self.plan,
+        }
+
+
+def run_restart_chaos(seed: int, *,
+                      plan: Optional[FaultPlan] = None,
+                      pool_dir: Optional[str] = None,
+                      session_ew_ns: int = 40_000_000,
+                      sweep_period_ns: int = 3_000_000,
+                      downtime_s: float = 0.12) -> RestartChaosResult:
+    """One seeded kill-and-restart run; returns the full verdict.
+
+    The workload commits data through ``psync`` (under injected torn
+    pages), a squatter attaches and holds, the daemon is killed
+    in-process (no shutdown path runs), the outage outlasts the
+    squatter's EW budget, and a second daemon recovers the same pool
+    directory.  The verdict checks the PR's restart property end to
+    end: committed data intact, session resumed by its original
+    token, the squatter's window force-closed at recovery and
+    attributed to the outage, and the merged pre/post-crash audit
+    timeline satisfying invariants I1-I6.
+    """
+    if plan is None:
+        plan = restart_plan(seed)
+    own_dir = pool_dir is None
+    if own_dir:
+        pool_dir = tempfile.mkdtemp(prefix="terp-restart-chaos-")
+    result = RestartChaosResult(
+        seed=seed, report=InvariantReport(),
+        plan={"seed": plan.seed,
+              "rules": [r.to_dict() for r in plan.rules]})
+
+    service_a = TerpService(
+        port=0, session_ew_ns=session_ew_ns,
+        sweep_period_ns=sweep_period_ns, seed=seed, faults=plan,
+        session_linger_ns=10_000_000_000, pool_dir=pool_dir)
+    thread_a = ServiceThread(service_a)
+    thread_a.start()
+    port_a = service_a.bound_port
+    assert port_a is not None
+    squatter = SyncTerpClient(port=port_a, user="squatter")
+    values: Dict[int, int] = {}
+    oids = []
+    try:
+        with SyncTerpClient(port=port_a, user="writer") as writer:
+            writer.create("chaos", 1 << 20, mode=0o666)
+            writer.attach("chaos")
+            for i in range(4):
+                oids.append(writer.pmalloc("chaos", 16))
+                values[i] = seed * 10_000 + i
+                writer.write_u64(oids[i], values[i])
+            # A full page whose every byte changes per round: torn
+            # home-page writes on it are *visible* (the stale tail
+            # mismatches the new CRC), so the journal repair path is
+            # actually exercised rather than dodged by identical
+            # halves.
+            blob_oid = writer.pmalloc("chaos", 4096)
+            blob = bytes([seed & 0xFF]) * 4096
+            writer.write(blob_oid, blob)
+            writer.psync("chaos")
+            # A couple more committed rounds so torn-page rules get
+            # home-page writes to tear.
+            for i in range(4):
+                values[i] += 1
+                writer.write_u64(oids[i], values[i])
+                blob = bytes([(seed + i + 1) & 0xFF]) * 4096
+                writer.write(blob_oid, blob)
+                writer.psync("chaos")
+            writer.detach("chaos")
+        squatter.connect()
+        squatter.attach("chaos")
+        token_before = squatter.resume_token
+        sid_before = squatter.session_id
+    except Exception as exc:          # noqa: BLE001 — verdict, not crash
+        result.unexpected.append(
+            f"pre-kill workload: {type(exc).__name__}: {exc}")
+        thread_a.kill()
+        return result
+
+    thread_a.kill()                   # no release, no journal goodbye
+    squatter.close()                  # socket died with the daemon
+    time.sleep(downtime_s)            # the outage the clock must count
+
+    service_b = TerpService(
+        port=0, session_ew_ns=session_ew_ns,
+        sweep_period_ns=sweep_period_ns, seed=seed,
+        session_linger_ns=10_000_000_000, pool_dir=pool_dir)
+    recovery = service_b.recovery_report
+    assert recovery is not None
+    result.recovery = recovery.to_dict()
+    result.pages_repaired = recovery.pages_repaired
+    with ServiceThread(service_b) as svc_b:
+        port_b = svc_b.bound_port
+        assert port_b is not None
+        try:
+            # Resume with the token minted before the crash.
+            squatter._port = port_b
+            squatter._reconnect()
+            result.session_resumed = (squatter.resumes >= 1 and
+                                      squatter.session_id == sid_before
+                                      and squatter.resume_token ==
+                                      token_before)
+            with SyncTerpClient(port=port_b, user="reader") as reader:
+                reader.attach("chaos", access="r")
+                result.data_intact = all(
+                    reader.read_u64(oids[i]) == values[i]
+                    for i in range(4)) and \
+                    reader.read(blob_oid, 4096) == blob
+                reader.detach("chaos")
+            squatter.goodbye()
+            squatter.close()
+        except Exception as exc:      # noqa: BLE001
+            result.unexpected.append(
+                f"post-restart: {type(exc).__name__}: {exc}")
+    result.overdue_attributed = any(
+        event["kind"] == "forced-detach" and
+        "outage" in str(event.get("reason", ""))
+        for event in service_b.obs.audit.events())
+    stalls = len(plan.fired("engine.sweep_stall"))
+    injected_delay = sum(inj.delay_ns for inj in plan.fired())
+    slack_ns = (4 + stalls) * sweep_period_ns + injected_delay + \
+        SCHEDULING_SLACK_NS
+    result.report = check_timeline(service_b.obs.audit,
+                                   ew_budget_ns=session_ew_ns,
+                                   slack_ns=slack_ns)
+    for inj in plan.fired():
+        result.faults_by_site[inj.site] = \
+            result.faults_by_site.get(inj.site, 0) + 1
+    return result
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.faults.chaos",
@@ -309,13 +534,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--out", default=None,
                         help="write the full verdict (plan included) "
                              "to this JSON file")
+    parser.add_argument("--restart", action="store_true",
+                        help="run the kill-and-restart leg instead: "
+                             "durable pool, in-process SIGKILL, warm "
+                             "restart, invariants I1-I6 across the "
+                             "outage")
     args = parser.parse_args(argv)
     if args.seed == "random":
         seed = int.from_bytes(os.urandom(4), "big")
     else:
         seed = int(args.seed)
-    result = run_chaos(seed, sessions=args.sessions,
-                       requests=args.requests)
+    result: Any
+    if args.restart:
+        result = run_restart_chaos(seed)
+    else:
+        result = run_chaos(seed, sessions=args.sessions,
+                           requests=args.requests)
     print(result.describe())
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:

@@ -20,7 +20,14 @@ I4  **exact pairing** — the cumulative per-PMO exposure statistics
     match what re-pairing the attach/detach events yields, exactly
     (the aggregate and the event stream cannot drift apart);
 I5  **eventual closure** — at the chosen end-of-run instant, no
-    window is still open.
+    window is still open;
+I6  **exposure bounded across restart** — a ``restart`` event marks a
+    whole-process crash whose ``duration_ns`` is the outage.  Windows
+    that were open across the outage get the downtime added to their
+    I1 allowance (the clock counted, the enforcement could not run),
+    but in exchange every such window must be closed *forced* within
+    the slack after the restart instant: recovery may never hand a
+    pre-crash window back to its holder.
 
 ``check_events`` works on a plain event list (synthetic timelines in
 tests); ``check_timeline`` pulls events, summary, and open windows
@@ -34,7 +41,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
-from repro.obs.audit import ATTACH, DETACH, FORCED_DETACH, AuditTimeline
+from repro.obs.audit import (
+    ATTACH, DETACH, FORCED_DETACH, RESTART, AuditTimeline)
 
 __all__ = ["Violation", "InvariantReport", "check_events",
            "check_timeline"]
@@ -84,7 +92,7 @@ def check_events(events: List[Dict[str, Any]], *,
                  summary: Optional[Dict[str, Any]] = None,
                  open_windows: Optional[List[Dict[str, Any]]] = None,
                  ) -> InvariantReport:
-    """Replay audit events and check invariants I1-I5.
+    """Replay audit events and check invariants I1-I6.
 
     ``ew_budget_ns``  the enforced per-entity budget; ``None`` skips
                       the bounded-exposure check (I1).
@@ -100,6 +108,10 @@ def check_events(events: List[Dict[str, Any]], *,
     report = InvariantReport()
     open_at: Dict[Tuple[Optional[int], Hashable], int] = {}
     derived: Dict[Hashable, Dict[str, Any]] = {}
+    #: restarts seen so far: (restart at_ns, downtime_ns)
+    restarts: List[Tuple[int, int]] = []
+    #: windows open at the last restart: key -> restart at_ns (I6)
+    pending_restart: Dict[Tuple[Optional[int], Hashable], int] = {}
 
     def stats_for(pmo_id: Hashable, pmo_name: Any) -> Dict[str, Any]:
         st = derived.get(pmo_id)
@@ -160,16 +172,52 @@ def check_events(events: List[Dict[str, Any]], *,
             st["held_total_ns"] += held
             st["held_max_ns"] = max(st["held_max_ns"], held)
             report.max_held_ns = max(report.max_held_ns, held)
+            # I6 (half 1): a window open across an outage gets the
+            # downtime added to its allowance — the exposure clock
+            # counted through the crash, the sweeper could not run.
+            downtime = sum(d for r_at, d in restarts
+                           if since < r_at <= at_ns)
             if ew_budget_ns is not None and \
-                    held > ew_budget_ns + slack_ns:
+                    held > ew_budget_ns + slack_ns + downtime:
                 report.violations.append(Violation(
                     "bounded-exposure",
                     f"entity {key[0]} held PMO {key[1]!r} for "
                     f"{held / 1e6:.3f}ms, budget "
                     f"{ew_budget_ns / 1e6:.3f}ms + slack "
-                    f"{slack_ns / 1e6:.3f}ms", event))
+                    f"{slack_ns / 1e6:.3f}ms + outage "
+                    f"{downtime / 1e6:.3f}ms", event))
+            # I6 (half 2): recovery must have closed it *forced*,
+            # promptly after the restart — never handed it back.
+            restart_at = pending_restart.pop(key, None)
+            if restart_at is not None:
+                if not forced:
+                    report.violations.append(Violation(
+                        "restart-exposure",
+                        f"window of entity {key[0]} on PMO {key[1]!r} "
+                        f"was open across a restart but closed "
+                        f"voluntarily — recovery handed access back",
+                        event))
+                elif at_ns > restart_at + slack_ns:
+                    report.violations.append(Violation(
+                        "restart-exposure",
+                        f"window of entity {key[0]} on PMO {key[1]!r} "
+                        f"open across the restart at {restart_at} was "
+                        f"not force-closed until {at_ns} "
+                        f"(> slack {slack_ns / 1e6:.3f}ms after)",
+                        event))
+        elif kind == RESTART:
+            restarts.append((at_ns, event.get("duration_ns") or 0))
+            for key_open in open_at:
+                pending_restart[key_open] = at_ns
         # sweep / fault events carry no window state to replay
 
+    for key, restart_at in pending_restart.items():
+        if key in open_at:
+            report.violations.append(Violation(
+                "restart-exposure",
+                f"window of entity {key[0]} on PMO {key[1]!r} was "
+                f"open across the restart at {restart_at} and never "
+                f"closed"))
     if summary is not None:
         _check_pairing(report, derived, summary)
     if open_windows:
@@ -214,7 +262,7 @@ def check_timeline(audit: AuditTimeline, *,
                    ew_budget_ns: Optional[int] = None,
                    slack_ns: int = 0,
                    at_end: bool = True) -> InvariantReport:
-    """Replay a live audit timeline against invariants I1-I5.
+    """Replay a live audit timeline against invariants I1-I6.
 
     If the ring has wrapped (``events_recorded > capacity``) the
     event stream is incomplete, so the overlap and exact-pairing
@@ -225,6 +273,12 @@ def check_timeline(audit: AuditTimeline, *,
     wrapped = audit.events_recorded > audit.capacity
     if wrapped:
         report = InvariantReport(pairing_checked=False)
+        # Degraded I6: without full pairing, windows open across an
+        # outage cannot be matched to their attach — grant every
+        # window the total retained downtime as allowance.
+        downtime = sum(e.get("duration_ns") or 0 for e in events
+                       if e["kind"] == RESTART)
+        slack_ns = slack_ns + downtime
         # Bounded exposure + attribution still hold per event.
         for event in events:
             report.events_checked += 1

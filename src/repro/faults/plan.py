@@ -65,6 +65,8 @@ SITES = (
     "server.partial_frame",
     "server.delay_response",
     "server.session_crash",
+    "store.torn_page",
+    "store.bit_rot",
 )
 
 

@@ -32,6 +32,12 @@ DETACH = "detach"
 FORCED_DETACH = "forced-detach"
 SWEEP = "sweep"
 FAULT = "fault"
+#: the daemon came back after a crash; ``duration_ns`` is the outage
+RESTART = "restart"
+#: one integrity-scrub pass over at-rest pages
+SCRUB = "scrub"
+#: a PMO failed verification with no repair source
+QUARANTINE = "quarantine"
 
 
 class AuditTimeline:
@@ -148,6 +154,52 @@ class AuditTimeline:
                 reason = f"{reason} {detail}"
             self._append_locked(FAULT, at_ns, None, None, None, None,
                                 reason)
+
+    def record_restart(self, at_ns: int, *, downtime_ns: int,
+                       sessions_restored: int = 0,
+                       reason: str = "") -> None:
+        """The daemon recovered after a crash.
+
+        ``downtime_ns`` (carried as the event's ``duration_ns``) is the
+        wall-clock outage; the invariant checker's I6 uses it to extend
+        the exposure allowance of windows that were open across the
+        restart — the clock counted through the outage, the enforcement
+        could not.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            detail = reason or (
+                f"recovered {sessions_restored} session(s) after "
+                f"{downtime_ns / 1e6:.1f}ms down")
+            self._append_locked(RESTART, at_ns, None, None, None,
+                                max(0, downtime_ns), detail)
+
+    def record_scrub(self, at_ns: int, *, verified: int,
+                     repaired: int, quarantined: int) -> None:
+        """One bounded integrity-scrub pass finished.
+
+        Only recorded when the pass found damage — an all-clean scrub
+        would flood the ring at one event per sweep.
+        """
+        if not self.enabled or (repaired == 0 and quarantined == 0):
+            return
+        with self._lock:
+            self._append_locked(
+                SCRUB, at_ns, None, None, None, None,
+                f"verified {verified}, repaired {repaired}, "
+                f"quarantined {quarantined}")
+
+    def record_quarantine(self, pmo_id: Hashable,
+                          pmo_name: Optional[str], at_ns: int, *,
+                          reason: str = "") -> None:
+        """A PMO was quarantined (unrepairable integrity failure)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._pmo_stats(pmo_id, pmo_name)
+            self._append_locked(QUARANTINE, at_ns, None, pmo_id,
+                                pmo_name, None, reason)
 
     # -- querying ---------------------------------------------------------
 

@@ -25,9 +25,10 @@ import numpy as np
 if TYPE_CHECKING:
     from repro.faults.plan import FaultPlan
     from repro.obs import Observability
+    from repro.pmo.store import PmoStore
 
 from repro.core.errors import (
-    InjectedCrash, InjectedFault, PmoError, TerpError)
+    InjectedCrash, InjectedFault, IntegrityError, PmoError, TerpError)
 from repro.core.permissions import Access
 from repro.core.runtime import AttachResult, Handle, TerpRuntime
 from repro.core.semantics import EwConsciousSemantics, SemanticsEngine
@@ -44,13 +45,20 @@ class PmoLibrary:
                  ew_target_us: float = 40.0, seed: int = 2022,
                  strict: bool = True,
                  obs: Optional["Observability"] = None,
-                 faults: Optional["FaultPlan"] = None) -> None:
+                 faults: Optional["FaultPlan"] = None,
+                 store: Optional["PmoStore"] = None) -> None:
         if semantics is None:
             semantics = EwConsciousSemantics(us(ew_target_us))
         self.runtime = TerpRuntime(
             semantics, rng=np.random.default_rng(seed), strict=strict,
             obs=obs)
         self.obs = obs
+        #: optional durable pool backend; when set, ``PMO_create``
+        #: provisions file-backed storage and ``psync`` flushes dirty
+        #: pages through the double-write journal.
+        self.store = store
+        if store is not None:
+            self.runtime.manager.storage_factory = store.make_storage
         self._tracer = (obs.tracer if obs is not None and obs.enabled
                         else None)
         #: optional fault-injection plan; sites ``lib.storage_write``
@@ -114,7 +122,10 @@ class PmoLibrary:
                    *, owner: str = "root") -> Pmo:
         """Create a PMO with the specified size; the caller owns it."""
         with self.lock:
-            return self.manager.create(name, size, owner=owner, mode=mode)
+            pmo = self.manager.create(name, size, owner=owner, mode=mode)
+            if self.store is not None:
+                self.store.register(pmo)
+            return pmo
 
     def PMO_open(self, name: str, requested: Access = Access.RW,
                  *, user: str = "root") -> Pmo:
@@ -146,6 +157,8 @@ class PmoLibrary:
             while self.manager.open_count(pmo) > 0:
                 self.manager.close(pmo)
             self.manager.destroy(name)
+            if self.store is not None:
+                self.store.destroy(name)
 
     def pmalloc(self, pmo: Pmo, size: int) -> Oid:
         """Allocate persistent data on ``pmo``; returns its OID."""
@@ -167,8 +180,18 @@ class PmoLibrary:
         return self.runtime.space.va_of(pmo.pmo_id, oid.offset)
 
     def attach(self, pmo: Pmo, permission: Access = Access.RW) -> Handle:
-        """Memory-map an opened PMO with the requested permission."""
+        """Memory-map an opened PMO with the requested permission.
+
+        A quarantined PMO (failed integrity verification with no
+        repair source) can only be attached read-only — the corrupt
+        bytes stay observable for forensics but never writable.
+        """
         with self.lock:
+            if pmo.quarantined and permission & Access.WRITE:
+                raise IntegrityError(
+                    f"PMO {pmo.name!r} is quarantined "
+                    f"({pmo.quarantine_reason}); write attach denied",
+                    pmo=pmo.name)
             result = self.runtime.attach(self._thread_id, pmo, permission,
                                          self.clock_ns)
             if not result.ok:
@@ -184,9 +207,12 @@ class PmoLibrary:
         """Durability point (Table I ``psync``): persist pending writes.
 
         Commits the PMO's open transaction, if any, so every logged
-        write reaches its home location; outside a transaction the
-        store path is write-through and this is a (valid) no-op.
-        Returns the number of writes made durable.
+        write reaches its home location.  With a durable backend the
+        PMO's dirty pages — including write-through (non-transactional)
+        writes — are then flushed to its pool file through the
+        double-write journal.  Returns the number of writes + pages
+        made durable; on the pure in-memory backend a no-transaction
+        psync is a (valid) no-op returning 0.
         """
         tracer = self._tracer
         t0 = tracer.clock() if tracer is not None else 0
@@ -197,14 +223,21 @@ class PmoLibrary:
                 # the library lock so other sessions keep moving.
                 time.sleep(rule.delay_ns / 1e9)
         with self.lock:
-            if not pmo.log.in_transaction:
-                return 0
-            pending = len(pmo.log.pending_writes)
-            pmo.commit_tx()
+            if pmo.quarantined:
+                raise IntegrityError(
+                    f"PMO {pmo.name!r} is quarantined "
+                    f"({pmo.quarantine_reason}); psync denied",
+                    pmo=pmo.name)
+            flushed = 0
+            if pmo.log.in_transaction:
+                flushed = len(pmo.log.pending_writes)
+                pmo.commit_tx()
+            if self.store is not None:
+                flushed += self.store.flush(pmo)
         if tracer is not None:
             tracer.record_since("lib.psync", t0, pmo=pmo.name,
-                                flushed=pending)
-        return pending
+                                flushed=flushed)
+        return flushed
 
     # -- guarded data access -------------------------------------------------
 
@@ -229,6 +262,11 @@ class PmoLibrary:
                           site="lib.storage_write")
         with self.lock:
             pmo = self.manager.get(oid.pool_id)
+            if pmo.quarantined:
+                raise IntegrityError(
+                    f"PMO {pmo.name!r} is quarantined "
+                    f"({pmo.quarantine_reason}); write denied",
+                    pmo=pmo.name)
             self.runtime.access(self._thread_id, pmo, oid.offset,
                                 Access.WRITE, self.clock_ns)
             pmo.write(oid.offset, data)

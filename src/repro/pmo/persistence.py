@@ -160,8 +160,13 @@ class RedoLog:
                 records.append((tag, tx, None))
                 pos += _TX_HDR.size
             else:
-                raise CrashConsistencyError(
-                    f"corrupt log record tag {tag} at {pos}")
+                # An unknown tag byte is a record header torn by a
+                # crash mid-write (e.g. a commit record whose tag byte
+                # never fully landed).  The tail from here on was
+                # never sealed — any transaction it belonged to lacks
+                # a commit record and is discarded, exactly like an
+                # explicit TAG_END cut.
+                break
         self._tail = pos
         return records
 

@@ -109,19 +109,26 @@ class Pmo:
 
     def __init__(self, pmo_id: int, name: str, size_bytes: int, *,
                  owner: str = "root", mode: int = 0o600,
-                 log_size: int = DEFAULT_LOG_SIZE) -> None:
+                 log_size: int = DEFAULT_LOG_SIZE,
+                 storage: Optional[SparseBytes] = None) -> None:
         min_size = HEADER_SIZE + log_size + 4 * KIB
         if size_bytes < min_size:
             raise PmoError(f"PMO must be at least {min_size} bytes")
+        if storage is not None and storage.size != size_bytes:
+            raise PmoError(
+                f"storage size {storage.size} != PMO size {size_bytes}")
         self.pmo_id = pmo_id
         self.name = name
         self.size_bytes = size_bytes
         self.owner = owner
         self.mode = mode
-        self.storage = SparseBytes(size_bytes)
+        self.storage = storage if storage is not None \
+            else SparseBytes(size_bytes)
         self._log_base = HEADER_SIZE
         self._log_size = log_size
         self._heap_base = HEADER_SIZE + log_size
+        self.quarantined = False
+        self.quarantine_reason = ""
         self.storage.write(0, MAGIC)
         self.storage.write_u64(8, size_bytes)
         self.log = RedoLog(self.storage, self._log_base, log_size)
@@ -132,26 +139,66 @@ class Pmo:
     @classmethod
     def from_snapshot(cls, pmo_id: int, name: str,
                       storage: SparseBytes, *,
-                      log_size: int = DEFAULT_LOG_SIZE) -> "Pmo":
+                      log_size: int = DEFAULT_LOG_SIZE,
+                      owner: str = "root",
+                      mode: int = 0o600) -> "Pmo":
         """Rebuild a PMO from a byte snapshot (crash-injection path).
 
         The returned object runs the full recovery procedure — header
         validation, redo-log replay, allocator rescan — exactly as a
         reboot after a power failure at the snapshot instant would.
         """
+        pmo = cls._shell(pmo_id, name, storage, log_size=log_size,
+                         owner=owner, mode=mode)
+        pmo.recover()
+        return pmo
+
+    @classmethod
+    def quarantined_shell(cls, pmo_id: int, name: str,
+                          storage: SparseBytes, *,
+                          log_size: int = DEFAULT_LOG_SIZE,
+                          owner: str = "root",
+                          mode: int = 0o600) -> "Pmo":
+        """A PMO whose bytes failed verification too badly for normal
+        recovery: readable as-is, no log replay, no allocator.  Used by
+        the durable store so forensics on a rotted pool stay possible.
+        """
+        pmo = cls._shell(pmo_id, name, storage, log_size=log_size,
+                         owner=owner, mode=mode)
+        pmo.log = RedoLog(SparseBytes(HEADER_SIZE + log_size),
+                          HEADER_SIZE, log_size)
+        pmo.heap = None
+        pmo.quarantine("recovery skipped: persistent bytes failed "
+                       "verification")
+        return pmo
+
+    @classmethod
+    def _shell(cls, pmo_id: int, name: str, storage: SparseBytes, *,
+               log_size: int, owner: str, mode: int) -> "Pmo":
         pmo = cls.__new__(cls)
         pmo.pmo_id = pmo_id
         pmo.name = name
         pmo.size_bytes = storage.size
-        pmo.owner = "root"
-        pmo.mode = 0o600
+        pmo.owner = owner
+        pmo.mode = mode
         pmo.storage = storage
         pmo._log_base = HEADER_SIZE
         pmo._log_size = log_size
         pmo._heap_base = HEADER_SIZE + log_size
         pmo._subtree = None
-        pmo.recover()
+        pmo.quarantined = False
+        pmo.quarantine_reason = ""
         return pmo
+
+    def quarantine(self, reason: str) -> None:
+        """Mark the PMO corrupt: reads stay possible, writes are denied
+        at the library layer, and the condition is surfaced in metrics
+        and on the audit timeline by whoever called us."""
+        self.quarantined = True
+        if reason and reason not in self.quarantine_reason:
+            self.quarantine_reason = (
+                f"{self.quarantine_reason}; {reason}"
+                if self.quarantine_reason else reason)
 
     # -- identity / mapping support ---------------------------------------
 

@@ -9,11 +9,11 @@ bits.  :class:`PmoManager` is that OS-side registry.  Pool ids start at
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.core.errors import PmoError
 from repro.core.permissions import Access
-from repro.pmo.pmo import Pmo
+from repro.pmo.pmo import Pmo, SparseBytes
 
 #: Mode bits, a deliberately file-like subset: owner rw, others rw.
 MODE_OWNER_READ = 0o400
@@ -41,13 +41,20 @@ class PmoManager:
         self._by_id: Dict[int, Pmo] = {}
         self._open_count: Dict[int, int] = {}
         self._next_id = 1
+        #: When set (durable pool), ``create`` asks this for the
+        #: backing storage — ``(name, size_bytes) -> SparseBytes``.
+        self.storage_factory: Optional[
+            Callable[[str, int], SparseBytes]] = None
 
     def create(self, name: str, size_bytes: int, *, owner: str = "root",
                mode: int = 0o600) -> Pmo:
         """``PMO_create``: make a new PMO; the caller becomes the owner."""
         if name in self._by_name:
             raise PmoError(f"PMO {name!r} already exists")
-        pmo = Pmo(self._next_id, name, size_bytes, owner=owner, mode=mode)
+        storage = self.storage_factory(name, size_bytes) \
+            if self.storage_factory is not None else None
+        pmo = Pmo(self._next_id, name, size_bytes, owner=owner,
+                  mode=mode, storage=storage)
         self._next_id += 1
         self._by_name[name] = pmo
         self._by_id[pmo.pmo_id] = pmo

@@ -1,0 +1,610 @@
+"""Durable file-backed pool storage with integrity checking.
+
+The paper's PMOs "live beyond process termination" (Section II); this
+module gives the reproduction a pool backend where that is literally
+true.  Each PMO owns one file in the pool directory, written with
+page-granular dirty tracking behind the existing
+:class:`~repro.pmo.pmo.SparseBytes` read/write interface:
+
+* **page slots with CRC trailers** — every 4KB page is stored in a
+  fixed slot followed by an 8-byte trailer (CRC32 of the page bytes +
+  a presence marker), so any torn or rotted page is *detectable*;
+* **double-write journal** — a flush first writes every dirty page to
+  the PMO's journal file (and fsyncs it), then to the home slots, then
+  retires the journal.  A crash mid-flush therefore leaves either an
+  unapplied journal (home file untouched by this batch) or a complete
+  journal that can *repair* any torn home page;
+* **quarantine** — a page that fails verification with no journal copy
+  is bit rot: the owning PMO is quarantined (readable, never writable)
+  and the failure surfaces as a typed
+  :class:`~repro.core.errors.IntegrityError`;
+* **scrub-on-sweep** — :meth:`PmoStore.scrub` verifies a bounded
+  number of at-rest pages per call; the terpd sweeper drives it so
+  silent corruption is found while the daemon is alive, not at the
+  next restart.
+
+The durability point is ``psync`` (Table I): writes dirty pages in
+memory, ``psync`` flushes them.  This mirrors PMDK-style durable
+transactions — nothing is promised durable until the flush returns.
+
+Data file layout (little endian)::
+
+    header page (4096 bytes):
+      magic "TERPDUR1" | u16 version | u16 pmo_id | u32 mode
+      u64 size_bytes | u64 log_size | u16 name_len | u16 owner_len
+      name utf-8 | owner utf-8
+    page slot i at 4096 + i * 4104:
+      4096 page bytes | u32 crc32 | u32 marker (0xA110C8ED)
+
+An absent page is an all-zero slot (a filesystem hole): the marker
+distinguishes "never written" from "written and must verify".
+
+Journal file layout::
+
+    magic "TERPJRN1" | u64 batch_seq | u32 page_count
+    page_count x (u64 page_index | u32 crc32 | 4096 page bytes)
+    commit: magic "JRNCMT!!" | u64 batch_seq
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import re
+import struct
+import threading
+import zlib
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:
+    from repro.faults.plan import FaultPlan
+    from repro.pmo.pmo import Pmo
+
+from repro.core.errors import IntegrityError, PmoError, TornPageError
+from repro.core.units import PAGE_SIZE
+from repro.pmo.pmo import SparseBytes
+
+FILE_MAGIC = b"TERPDUR1"
+JOURNAL_MAGIC = b"TERPJRN1"
+JOURNAL_COMMIT = b"JRNCMT!!"
+FORMAT_VERSION = 1
+#: Marks a page slot as holding flushed (verifiable) bytes.
+PAGE_MARKER = 0xA110C8ED
+
+HEADER_SPAN = PAGE_SIZE
+TRAILER = struct.Struct("<II")            # crc32, marker
+SLOT_SIZE = PAGE_SIZE + TRAILER.size
+_HEADER = struct.Struct("<8sHHIQQHH")
+_JRN_HEAD = struct.Struct("<8sQI")
+_JRN_PAGE = struct.Struct("<QI")
+_JRN_COMMIT = struct.Struct("<8sQ")
+
+#: Default bound on pages verified per scrub pass.
+SCRUB_PAGES_PER_PASS = 8
+
+
+def _page_crc(page: bytes) -> int:
+    return zlib.crc32(page) & 0xFFFFFFFF
+
+
+def _safe_filename(name: str) -> str:
+    """A stable, collision-free filename for a PMO name."""
+    safe = re.sub(r"[^A-Za-z0-9._-]", "_", name)[:64]
+    digest = hashlib.sha1(name.encode("utf-8")).hexdigest()[:10]
+    return f"{safe}-{digest}"
+
+
+class DurablePages(SparseBytes):
+    """Sparse page storage that remembers which pages are dirty.
+
+    Drop-in for :class:`SparseBytes` (the ``Pmo``, ``RedoLog``, and
+    ``HeapAllocator`` all keep working unchanged); every write marks
+    the touched page indices so :meth:`PmoStore.flush` knows exactly
+    what to persist.
+    """
+
+    def __init__(self, size: int) -> None:
+        super().__init__(size)
+        self.dirty: Set[int] = set()
+
+    def write(self, offset: int, data: bytes) -> None:
+        super().write(offset, data)
+        first = offset // PAGE_SIZE
+        last = (offset + max(0, len(data) - 1)) // PAGE_SIZE
+        for index in range(first, last + 1):
+            self.dirty.add(index)
+
+
+class _StoreEntry:
+    """One registered PMO's durable state."""
+
+    __slots__ = ("pmo", "path", "journal_path", "flush_seq",
+                 "scrub_cursor")
+
+    def __init__(self, pmo: "Pmo", path: Path,
+                 journal_path: Path) -> None:
+        self.pmo = pmo
+        self.path = path
+        self.journal_path = journal_path
+        self.flush_seq = 0
+        self.scrub_cursor = 0
+
+
+class LoadReport:
+    """What a pool-directory rescan found."""
+
+    def __init__(self) -> None:
+        self.loaded: List["Pmo"] = []
+        self.quarantined: List[Tuple[str, str]] = []
+        self.denied: List[Tuple[str, str]] = []
+        self.pages_repaired = 0
+        self.journals_applied = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "loaded": [p.name for p in self.loaded],
+            "quarantined": list(self.quarantined),
+            "denied": list(self.denied),
+            "pages_repaired": self.pages_repaired,
+            "journals_applied": self.journals_applied,
+        }
+
+
+class PmoStore:
+    """The pool directory: one durable file (+ journal) per PMO."""
+
+    def __init__(self, root: os.PathLike, *,
+                 faults: Optional["FaultPlan"] = None,
+                 fsync: bool = True) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        #: optional fault plan; sites ``store.torn_page`` (a home-slot
+        #: write is torn mid-page, journal left in place) and
+        #: ``store.bit_rot`` (a flushed page is corrupted at rest,
+        #: journal already retired — unrepairable by design).
+        self.faults = faults
+        self.fsync = fsync
+        self._entries: Dict[str, _StoreEntry] = {}
+        self._scrub_order: List[str] = []
+        self._scrub_next = 0
+        self._lock = threading.RLock()
+
+    # -- registration ------------------------------------------------------
+
+    def make_storage(self, name: str, size: int) -> DurablePages:
+        """Storage factory handed to :class:`~repro.pmo.pool.PmoManager`."""
+        return DurablePages(size)
+
+    def path_for(self, name: str) -> Path:
+        return self.root / f"{_safe_filename(name)}.pmo"
+
+    def journal_path_for(self, name: str) -> Path:
+        return self.root / f"{_safe_filename(name)}.journal"
+
+    def register(self, pmo: "Pmo") -> None:
+        """Adopt a PMO into the store; writes its header immediately
+        so the PMO is discoverable by recovery even before the first
+        ``psync``."""
+        if not isinstance(pmo.storage, DurablePages):
+            raise PmoError(
+                f"PMO {pmo.name!r} does not use durable storage")
+        with self._lock:
+            if pmo.name in self._entries:
+                return
+            entry = _StoreEntry(pmo, self.path_for(pmo.name),
+                                self.journal_path_for(pmo.name))
+            self._entries[pmo.name] = entry
+            self._scrub_order.append(pmo.name)
+            if not entry.path.exists():
+                with open(entry.path, "wb") as fh:
+                    fh.write(self._header_bytes(pmo))
+                    if self.fsync:
+                        fh.flush()
+                        os.fsync(fh.fileno())
+
+    def unregister(self, name: str) -> None:
+        with self._lock:
+            self._entries.pop(name, None)
+            if name in self._scrub_order:
+                self._scrub_order.remove(name)
+                self._scrub_next = 0
+
+    def destroy(self, name: str) -> None:
+        """Remove a PMO's durable files (``PMO_destroy``)."""
+        with self._lock:
+            self.unregister(name)
+            self.path_for(name).unlink(missing_ok=True)
+            self.journal_path_for(name).unlink(missing_ok=True)
+
+    def registered(self) -> List[str]:
+        with self._lock:
+            return list(self._entries)
+
+    def _header_bytes(self, pmo: "Pmo") -> bytes:
+        name = pmo.name.encode("utf-8")
+        owner = pmo.owner.encode("utf-8")
+        head = _HEADER.pack(FILE_MAGIC, FORMAT_VERSION, pmo.pmo_id,
+                            pmo.mode, pmo.size_bytes, pmo._log_size,
+                            len(name), len(owner)) + name + owner
+        if len(head) > HEADER_SPAN:
+            raise PmoError(f"PMO name/owner too long for the durable "
+                           f"header ({len(head)} bytes)")
+        return head.ljust(HEADER_SPAN, b"\x00")
+
+    # -- flush (the durability point) --------------------------------------
+
+    def flush(self, pmo: "Pmo") -> int:
+        """Persist the PMO's dirty pages; returns pages flushed.
+
+        Double-write protocol: journal first (fsync), then home slots
+        (fsync), then retire the journal.  A crash between the two
+        fsyncs leaves a complete journal from which every home page is
+        repairable.
+        """
+        with self._lock:
+            entry = self._entries.get(pmo.name)
+            if entry is None:
+                raise PmoError(f"PMO {pmo.name!r} is not registered "
+                               "with the durable store")
+            storage = pmo.storage
+            assert isinstance(storage, DurablePages)
+            dirty = sorted(storage.dirty)
+            if not dirty:
+                return 0
+            pending = self._journal_pages(entry.journal_path)
+            if pending:
+                # A journal survives a flush only when a home write was
+                # torn: apply it before this batch's journal replaces
+                # it, or the torn page would lose its repair source.
+                self._apply_pages(entry.path, pending)
+                entry.journal_path.unlink(missing_ok=True)
+            entry.flush_seq += 1
+            pages = [(index, bytes(storage._pages.get(
+                index, b"\x00" * PAGE_SIZE))) for index in dirty]
+            self._write_journal(entry, pages)
+            torn_pages, rot_pages = self._write_home(entry, pages)
+            if not torn_pages:
+                # The batch is fully home: retire the journal.  A torn
+                # write (injected or real) keeps it — that journal is
+                # the repair source scrub and recovery rely on.
+                entry.journal_path.unlink(missing_ok=True)
+            if rot_pages:
+                self._inject_bit_rot(entry, rot_pages)
+            storage.dirty.clear()
+            return len(pages)
+
+    def _write_journal(self, entry: _StoreEntry,
+                       pages: List[Tuple[int, bytes]]) -> None:
+        with open(entry.journal_path, "wb") as fh:
+            fh.write(_JRN_HEAD.pack(JOURNAL_MAGIC, entry.flush_seq,
+                                    len(pages)))
+            for index, page in pages:
+                fh.write(_JRN_PAGE.pack(index, _page_crc(page)))
+                fh.write(page)
+            fh.write(_JRN_COMMIT.pack(JOURNAL_COMMIT, entry.flush_seq))
+            fh.flush()
+            if self.fsync:
+                os.fsync(fh.fileno())
+
+    def _write_home(self, entry: _StoreEntry,
+                    pages: List[Tuple[int, bytes]]
+                    ) -> Tuple[List[int], List[int]]:
+        """Write page slots; returns (torn, rotted) injected indices."""
+        torn: List[int] = []
+        rot: List[int] = []
+        with open(entry.path, "r+b") as fh:
+            for index, page in pages:
+                trailer = TRAILER.pack(_page_crc(page), PAGE_MARKER)
+                fh.seek(HEADER_SPAN + index * SLOT_SIZE)
+                if self.faults is not None and \
+                        self.faults.fire("store.torn_page") is not None:
+                    # Torn mid-page: half the new bytes land, the
+                    # trailer claims the full new CRC — exactly what a
+                    # crash between the two media writes leaves.
+                    fh.write(page[:PAGE_SIZE // 2])
+                    fh.seek(HEADER_SPAN + index * SLOT_SIZE + PAGE_SIZE)
+                    fh.write(trailer)
+                    torn.append(index)
+                    continue
+                fh.write(page)
+                fh.write(trailer)
+                if self.faults is not None and \
+                        self.faults.fire("store.bit_rot") is not None:
+                    rot.append(index)
+            fh.flush()
+            if self.fsync:
+                os.fsync(fh.fileno())
+        return torn, rot
+
+    def _apply_pages(self, path: Path,
+                     pages: Dict[int, bytes]) -> None:
+        """Write journal page copies to their home slots (fsynced)."""
+        with open(path, "r+b") as fh:
+            for index, page in sorted(pages.items()):
+                fh.seek(HEADER_SPAN + index * SLOT_SIZE)
+                fh.write(page)
+                fh.write(TRAILER.pack(_page_crc(page), PAGE_MARKER))
+            fh.flush()
+            if self.fsync:
+                os.fsync(fh.fileno())
+
+    def _inject_bit_rot(self, entry: _StoreEntry,
+                        indices: List[int]) -> None:
+        """Flip one bit in each page *after* the journal retired —
+        at-rest decay with no repair source, the quarantine case."""
+        with open(entry.path, "r+b") as fh:
+            for index in indices:
+                pos = HEADER_SPAN + index * SLOT_SIZE
+                fh.seek(pos)
+                byte = fh.read(1)
+                fh.seek(pos)
+                fh.write(bytes([byte[0] ^ 0x01]))
+            fh.flush()
+            if self.fsync:
+                os.fsync(fh.fileno())
+
+    # -- verification / scrub ----------------------------------------------
+
+    def _read_slot(self, fh, index: int) -> Tuple[bytes, int, int]:
+        fh.seek(HEADER_SPAN + index * SLOT_SIZE)
+        blob = fh.read(SLOT_SIZE)
+        blob = blob.ljust(SLOT_SIZE, b"\x00")
+        page = blob[:PAGE_SIZE]
+        crc, marker = TRAILER.unpack_from(blob, PAGE_SIZE)
+        return page, crc, marker
+
+    def _journal_pages(self, journal_path: Path
+                       ) -> Optional[Dict[int, bytes]]:
+        """The journal's page copies, or None if absent/uncommitted."""
+        try:
+            raw = journal_path.read_bytes()
+        except FileNotFoundError:
+            return None
+        if len(raw) < _JRN_HEAD.size + _JRN_COMMIT.size:
+            return None
+        magic, seq, count = _JRN_HEAD.unpack_from(raw, 0)
+        if magic != JOURNAL_MAGIC:
+            return None
+        body = _JRN_HEAD.size + count * (_JRN_PAGE.size + PAGE_SIZE)
+        if len(raw) < body + _JRN_COMMIT.size:
+            return None            # torn journal: never applied
+        commit_magic, commit_seq = _JRN_COMMIT.unpack_from(raw, body)
+        if commit_magic != JOURNAL_COMMIT or commit_seq != seq:
+            return None
+        pages: Dict[int, bytes] = {}
+        pos = _JRN_HEAD.size
+        for _ in range(count):
+            index, crc = _JRN_PAGE.unpack_from(raw, pos)
+            pos += _JRN_PAGE.size
+            page = raw[pos:pos + PAGE_SIZE]
+            pos += PAGE_SIZE
+            if _page_crc(page) != crc:
+                return None        # journal itself corrupt: unusable
+            pages[index] = page
+        return pages
+
+    def verify_page(self, name: str, index: int, *,
+                    repair: bool = True) -> str:
+        """Verify one on-disk page; returns ``ok``/``absent``/
+        ``repaired``/``repaired-from-memory``.
+
+        Raises :class:`TornPageError` (journal copy exists) or
+        :class:`IntegrityError` (no repair source) when ``repair`` is
+        off, quarantines the PMO when repair is impossible.
+        """
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                raise PmoError(f"PMO {name!r} is not registered")
+            with open(entry.path, "rb") as fh:
+                page, crc, marker = self._read_slot(fh, index)
+            if marker != PAGE_MARKER:
+                return "absent"
+            if _page_crc(page) == crc:
+                return "ok"
+            journal = self._journal_pages(entry.journal_path)
+            good = journal.get(index) if journal else None
+            if good is None:
+                resident = entry.pmo.storage._pages.get(index)
+                if not repair or resident is None:
+                    entry.pmo.quarantine(
+                        f"page {index} failed CRC with no journal copy")
+                    raise IntegrityError(
+                        f"PMO {name!r} page {index}: CRC mismatch, "
+                        "no repair source (bit rot)", pmo=name,
+                        page_index=index)
+                good = bytes(resident)
+                outcome = "repaired-from-memory"
+            else:
+                if not repair:
+                    raise TornPageError(
+                        f"PMO {name!r} page {index}: CRC mismatch, "
+                        "journal copy available", pmo=name,
+                        page_index=index)
+                outcome = "repaired"
+            with open(entry.path, "r+b") as fh:
+                fh.seek(HEADER_SPAN + index * SLOT_SIZE)
+                fh.write(good)
+                fh.write(TRAILER.pack(_page_crc(good), PAGE_MARKER))
+                fh.flush()
+                if self.fsync:
+                    os.fsync(fh.fileno())
+            return outcome
+
+    def present_pages(self, name: str) -> List[int]:
+        """Indices of flushed (marker-bearing) pages on disk."""
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                raise PmoError(f"PMO {name!r} is not registered")
+            present = []
+            size = entry.path.stat().st_size
+            count = max(0, (size - HEADER_SPAN) + SLOT_SIZE - 1) \
+                // SLOT_SIZE
+            with open(entry.path, "rb") as fh:
+                for index in range(count):
+                    _, _, marker = self._read_slot(fh, index)
+                    if marker == PAGE_MARKER:
+                        present.append(index)
+            return present
+
+    def scrub(self, max_pages: int = SCRUB_PAGES_PER_PASS
+              ) -> Dict[str, int]:
+        """Verify up to ``max_pages`` at-rest pages, round-robin over
+        every registered PMO; repairs from the journal (or, for a live
+        PMO, from its resident copy).  Returns outcome counts."""
+        result = {"verified": 0, "repaired": 0, "quarantined": 0}
+        with self._lock:
+            if not self._scrub_order:
+                return result
+            budget = max_pages
+            rounds = 0
+            while budget > 0 and rounds < len(self._scrub_order):
+                name = self._scrub_order[
+                    self._scrub_next % len(self._scrub_order)]
+                self._scrub_next += 1
+                rounds += 1
+                entry = self._entries.get(name)
+                if entry is None or entry.pmo.quarantined:
+                    continue
+                pages = self.present_pages(name)
+                if not pages:
+                    continue
+                rounds = 0           # found work: keep going
+                start = entry.scrub_cursor % len(pages)
+                take = pages[start:start + budget]
+                entry.scrub_cursor = start + len(take)
+                if entry.scrub_cursor >= len(pages):
+                    entry.scrub_cursor = 0
+                for index in take:
+                    try:
+                        outcome = self.verify_page(name, index)
+                    except IntegrityError:
+                        result["quarantined"] += 1
+                        break
+                    result["verified"] += 1
+                    if outcome.startswith("repaired"):
+                        result["repaired"] += 1
+                budget -= len(take)
+        return result
+
+    # -- recovery (pool rescan) --------------------------------------------
+
+    def load_all(self) -> LoadReport:
+        """Rescan the pool directory: apply journals, verify pages,
+        rebuild every PMO through full crash recovery, quarantine what
+        cannot be proven intact."""
+        from repro.pmo.pmo import Pmo
+        report = LoadReport()
+        for path in sorted(self.root.glob("*.pmo")):
+            journal_path = path.with_suffix(".journal")
+            try:
+                pmo, repaired, applied = self._load_one(path,
+                                                        journal_path)
+            except IntegrityError as exc:
+                # Page-level rot inside a parseable file: the PMO
+                # comes back quarantined (read-only) via _load_one's
+                # second return path — reaching here means the file
+                # was too damaged to even construct; deny it.
+                report.denied.append((path.name, str(exc)))
+                continue
+            except PmoError as exc:
+                report.denied.append((path.name, str(exc)))
+                continue
+            report.pages_repaired += repaired
+            report.journals_applied += applied
+            if pmo.quarantined:
+                report.quarantined.append((pmo.name,
+                                           pmo.quarantine_reason))
+            report.loaded.append(pmo)
+            with self._lock:
+                entry = _StoreEntry(pmo, path, journal_path)
+                self._entries[pmo.name] = entry
+                self._scrub_order.append(pmo.name)
+        return report
+
+    def _load_one(self, path: Path, journal_path: Path
+                  ) -> Tuple["Pmo", int, int]:
+        from repro.pmo.pmo import Pmo
+        raw_header = path.read_bytes()[:HEADER_SPAN]
+        if len(raw_header) < _HEADER.size:
+            raise PmoError(f"{path.name}: truncated header")
+        magic, version, pmo_id, mode, size_bytes, log_size, \
+            name_len, owner_len = _HEADER.unpack_from(raw_header, 0)
+        if magic != FILE_MAGIC:
+            raise PmoError(f"{path.name}: not a durable PMO file")
+        if version != FORMAT_VERSION:
+            raise PmoError(f"{path.name}: format version {version} "
+                           f"unsupported")
+        pos = _HEADER.size
+        name = raw_header[pos:pos + name_len].decode("utf-8")
+        owner = raw_header[pos + name_len:
+                           pos + name_len + owner_len].decode("utf-8")
+
+        journal = self._journal_pages(journal_path)
+        applied = 1 if journal else 0
+        repaired = 0
+        storage = DurablePages(size_bytes)
+        bad_pages: List[int] = []
+        with open(path, "r+b") as fh:
+            if journal:
+                # Double-write recovery: re-apply the whole committed
+                # batch.  Idempotent — pages already home verify and
+                # are rewritten identically; torn pages are healed.
+                for index, page in sorted(journal.items()):
+                    old_page, old_crc, old_marker = \
+                        self._read_slot(fh, index)
+                    if old_marker != PAGE_MARKER or \
+                            _page_crc(old_page) != old_crc or \
+                            old_page != page:
+                        repaired += 1
+                    fh.seek(HEADER_SPAN + index * SLOT_SIZE)
+                    fh.write(page)
+                    fh.write(TRAILER.pack(_page_crc(page),
+                                          PAGE_MARKER))
+                fh.flush()
+                if self.fsync:
+                    os.fsync(fh.fileno())
+            size = path.stat().st_size
+            count = max(0, (size - HEADER_SPAN) + SLOT_SIZE - 1) \
+                // SLOT_SIZE
+            for index in range(count):
+                page, crc, marker = self._read_slot(fh, index)
+                if marker != PAGE_MARKER:
+                    continue
+                if _page_crc(page) != crc:
+                    bad_pages.append(index)
+                    continue
+                storage._pages[index] = bytearray(page)
+        if journal:
+            journal_path.unlink(missing_ok=True)
+
+        if not storage._pages and not bad_pages:
+            # Created but never flushed: only the durable header made
+            # it to media.  Reconstruct the PMO empty — exactly what a
+            # crash before the first psync promises.
+            return Pmo(pmo_id, name, size_bytes, owner=owner,
+                       mode=mode, log_size=log_size,
+                       storage=storage), repaired, applied
+
+        quarantine_reason = ""
+        if bad_pages:
+            quarantine_reason = (
+                f"{len(bad_pages)} page(s) failed CRC with no journal "
+                f"copy (bit rot): {bad_pages[:8]}")
+        try:
+            pmo = Pmo.from_snapshot(pmo_id, name, storage,
+                                    log_size=log_size, owner=owner,
+                                    mode=mode)
+        except PmoError:
+            if not quarantine_reason:
+                raise
+            # Recovery itself failed on rotted bytes: keep the PMO
+            # readable-as-is but skip log replay and the allocator.
+            pmo = Pmo.quarantined_shell(pmo_id, name, storage,
+                                        log_size=log_size, owner=owner,
+                                        mode=mode)
+        if quarantine_reason:
+            pmo.quarantine(quarantine_reason)
+        return pmo, repaired, applied

@@ -22,7 +22,8 @@ import signal
 import sys
 
 from repro.service.server import (
-    DEFAULT_SESSION_EW_NS, DEFAULT_SWEEP_PERIOD_NS, TerpService)
+    DEFAULT_SESSION_EW_NS, DEFAULT_SESSION_LINGER_NS,
+    DEFAULT_SWEEP_PERIOD_NS, TerpService)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -57,6 +58,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=2022,
                         help="layout-randomization seed (default: "
                              "%(default)s)")
+    parser.add_argument("--pool-dir", metavar="DIR", default=None,
+                        help="durable pool directory: one CRC-guarded "
+                             "file per PMO, flushed at psync through a "
+                             "double-write journal, plus a session "
+                             "journal enabling warm restart — start "
+                             "again on the same DIR after a crash and "
+                             "data, sessions, and the exposure clock "
+                             "all survive")
+    parser.add_argument("--resume-linger-ms", type=float,
+                        default=DEFAULT_SESSION_LINGER_NS / 1e6,
+                        help="how long a dropped session's identity "
+                             "lingers for token-based resume, in ms "
+                             "(default: %(default)s)")
     parser.add_argument("--metrics-dump", metavar="PATH", default=None,
                         help="on shutdown, write the full observability "
                              "dump (metrics registry JSON, exposure "
@@ -81,7 +95,9 @@ def make_service(args: argparse.Namespace) -> TerpService:
         sweep_period_ns=max(1, int(args.sweep_period_ms * 1e6)),
         cb_capacity=args.cb_capacity,
         seed=args.seed,
-        obs_enabled=not args.no_obs)
+        obs_enabled=not args.no_obs,
+        session_linger_ns=max(0, int(args.resume_linger_ms * 1e6)),
+        pool_dir=args.pool_dir)
 
 
 async def _amain(args: argparse.Namespace) -> int:

@@ -141,6 +141,24 @@ class ServiceMetrics:
         self._replays_served = reg.counter(
             "terpd_replays_served_total", "responses served from the "
             "idempotent replay cache")
+        self._scrub_pages_verified = reg.counter(
+            "terpd_scrub_pages_verified_total", "at-rest pages CRC-"
+            "verified by the sweep-integrated scrubber")
+        self._scrub_pages_repaired = reg.counter(
+            "terpd_scrub_pages_repaired_total", "pages repaired from "
+            "the double-write journal (or the live resident copy)")
+        self._pmos_quarantined = reg.counter(
+            "terpd_pmos_quarantined_total", "PMOs quarantined after an "
+            "unrepairable integrity failure")
+        self._restarts_recovered = reg.counter(
+            "terpd_restarts_recovered_total", "warm restarts that "
+            "replayed the pool directory and session journal")
+        self._sessions_recovered = reg.counter(
+            "terpd_sessions_recovered_total", "sessions restored from "
+            "the session journal at warm restart")
+        self._recovery_forced_detaches = reg.counter(
+            "terpd_recovery_forced_detaches_total", "holdings force-"
+            "detached at recovery (EW elapsed during the outage)")
         self._op_counters: Dict[str, Counter] = {}
         self._fault_site_counters: Dict[str, Counter] = {}
         self.request_latency = reg.histogram(
@@ -207,6 +225,21 @@ class ServiceMetrics:
     def note_replay_served(self) -> None:
         self._replays_served.inc()
 
+    def note_scrub(self, *, verified: int, repaired: int,
+                   quarantined: int) -> None:
+        self._scrub_pages_verified.inc(verified)
+        self._scrub_pages_repaired.inc(repaired)
+        self._pmos_quarantined.inc(quarantined)
+
+    def note_quarantine(self, count: int = 1) -> None:
+        self._pmos_quarantined.inc(count)
+
+    def note_recovery(self, *, sessions: int,
+                      forced_detaches: int) -> None:
+        self._restarts_recovered.inc()
+        self._sessions_recovered.inc(sessions)
+        self._recovery_forced_detaches.inc(forced_detaches)
+
     # -- read side --------------------------------------------------------
 
     @property
@@ -262,6 +295,30 @@ class ServiceMetrics:
         return self._replays_served.value
 
     @property
+    def scrub_pages_verified(self) -> int:
+        return self._scrub_pages_verified.value
+
+    @property
+    def scrub_pages_repaired(self) -> int:
+        return self._scrub_pages_repaired.value
+
+    @property
+    def pmos_quarantined(self) -> int:
+        return self._pmos_quarantined.value
+
+    @property
+    def restarts_recovered(self) -> int:
+        return self._restarts_recovered.value
+
+    @property
+    def sessions_recovered(self) -> int:
+        return self._sessions_recovered.value
+
+    @property
+    def recovery_forced_detaches(self) -> int:
+        return self._recovery_forced_detaches.value
+
+    @property
     def faults_by_site(self) -> Dict[str, int]:
         return {site: counter.value
                 for site, counter in self._fault_site_counters.items()}
@@ -287,6 +344,12 @@ class ServiceMetrics:
             "faults_by_site": self.faults_by_site,
             "sessions_resumed": self.sessions_resumed,
             "replays_served": self.replays_served,
+            "scrub_pages_verified": self.scrub_pages_verified,
+            "scrub_pages_repaired": self.scrub_pages_repaired,
+            "pmos_quarantined": self.pmos_quarantined,
+            "restarts_recovered": self.restarts_recovered,
+            "sessions_recovered": self.sessions_recovered,
+            "recovery_forced_detaches": self.recovery_forced_detaches,
             "ops": self.ops,
             "request_latency": _histogram_latency_dict(
                 self.request_latency),

@@ -33,7 +33,8 @@ import time
 from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
 from repro.arch.cond_engine import TerpArchEngine
-from repro.core.errors import Busy, InjectedCrash, PmoError, TerpError
+from repro.core.errors import (
+    Busy, InjectedCrash, IntegrityError, PmoError, TerpError)
 from repro.faults.plan import FaultPlan, Injection
 from repro.mem.mpk import NUM_KEYS
 from repro.core.permissions import Access
@@ -42,10 +43,13 @@ from repro.obs.tracing import NULL_SPAN
 from repro.pmo.api import PmoLibrary
 from repro.pmo.object_id import Oid
 from repro.pmo.pool import mode_allows
+from repro.pmo.store import SCRUB_PAGES_PER_PASS, PmoStore
 from repro.service import protocol
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
     PROTOCOL_VERSION, WireError, error_response, ok_response)
+from repro.service.recovery import (
+    RecoveryManager, RecoveryReport, SessionJournal)
 from repro.service.sessions import Session, SessionRegistry
 
 #: Default wall-clock exposure budget per session: 50ms.  Generous next
@@ -86,7 +90,9 @@ class TerpService:
                  obs_enabled: bool = True,
                  faults: Optional[FaultPlan] = None,
                  max_sessions: Optional[int] = None,
-                 session_linger_ns: int = DEFAULT_SESSION_LINGER_NS) \
+                 session_linger_ns: int = DEFAULT_SESSION_LINGER_NS,
+                 pool_dir: Optional[str] = None,
+                 scrub_pages_per_sweep: int = SCRUB_PAGES_PER_PASS) \
             -> None:
         if port is None and unix_path is None:
             raise TerpError("need a TCP port and/or a unix socket path")
@@ -121,8 +127,23 @@ class TerpService:
             faults.on_fire = self._note_injection
         self.max_sessions = max_sessions
         self.session_linger_ns = session_linger_ns
+        #: Durable pool backend (``--pool-dir``): file-per-PMO storage
+        #: with CRC trailers + double-write journal, a session journal
+        #: for warm restart, and a scrub pass on every sweep.
+        self.pool_dir = pool_dir
+        self.store: Optional[PmoStore] = None
+        self.session_journal: Optional[SessionJournal] = None
+        self.recovery_report: Optional[RecoveryReport] = None
+        self._epoch_wall_ns: Optional[int] = None
+        if pool_dir is not None:
+            self.store = PmoStore(pool_dir, faults=faults)
         self.lib = PmoLibrary(semantics=engine, seed=seed, strict=True,
-                              obs=self.obs, faults=faults)
+                              obs=self.obs, faults=faults,
+                              store=self.store)
+        if self.store is not None:
+            engine.scrubber = lambda: self.store.scrub(
+                scrub_pages_per_sweep)
+            engine.on_scrub = self._on_scrub
         self.registry = SessionRegistry(
             default_ew_budget_ns=session_ew_ns, token_seed=seed)
         self.metrics = ServiceMetrics(self.obs.registry)
@@ -133,6 +154,7 @@ class TerpService:
         self._sweeper: Optional[asyncio.Task] = None
         self._writers: set = set()
         self._stopped = False
+        self._crashed = False
         self.bound_port: Optional[int] = None
         self._handlers: Dict[str, Callable[[_Conn, Dict], Any]] = {
             "hello": self._op_hello,
@@ -163,12 +185,57 @@ class TerpService:
         #: reads included: a scraper needs no entity identity)
         self._sessionless = {"hello", "ping", "metrics", "trace",
                              "prometheus"}
+        if self.store is not None:
+            # Warm restart happens *here*, before any socket binds:
+            # the pool is rescanned and verified, surviving sessions
+            # are restored (lingering, same resume token), and every
+            # holding open at the crash is force-detached on the
+            # unbroken exposure clock — all before the first request.
+            self.session_journal = SessionJournal(pool_dir)
+            self.recovery_report = RecoveryManager(self).recover()
 
     # -- clock ---------------------------------------------------------------
 
+    def wall_clock_ns(self) -> int:
+        return time.time_ns()
+
+    def adopt_epoch(self, epoch_wall_ns: int) -> None:
+        """Pin the service clock to a persisted wall-clock epoch.
+
+        With a pool directory the exposure clock is
+        ``wall_clock - epoch``: a restart on the same pool resumes the
+        *same* time axis, so exposure accrued before the crash and
+        time elapsed during the outage both count.
+        """
+        self._epoch_wall_ns = epoch_wall_ns
+
     def now_ns(self) -> int:
-        """Monotonic nanoseconds since service construction."""
+        """Nanoseconds on the service's exposure clock.
+
+        Monotonic since construction for an in-memory daemon; with a
+        durable pool, wall-clock since the pool's persisted epoch —
+        continuous across daemon restarts.
+        """
+        if self._epoch_wall_ns is not None:
+            return max(0, time.time_ns() - self._epoch_wall_ns)
         return time.monotonic_ns() - self._t0
+
+    # -- scrub hook -----------------------------------------------------------
+
+    def _on_scrub(self, result) -> None:
+        """Engine callback after each sweep's bounded scrub pass."""
+        if not isinstance(result, dict):
+            return
+        self.metrics.note_scrub(
+            verified=result.get("verified", 0),
+            repaired=result.get("repaired", 0),
+            quarantined=result.get("quarantined", 0))
+        if self.obs.enabled:
+            self.obs.audit.record_scrub(
+                self.lib.clock_ns,
+                verified=result.get("verified", 0),
+                repaired=result.get("repaired", 0),
+                quarantined=result.get("quarantined", 0))
 
     # -- fault-injection hook -------------------------------------------------
 
@@ -215,10 +282,40 @@ class TerpService:
             now = self.lib.advance_to(self.now_ns())
             for session in self.registry:
                 self._release_session(session, now, reason="shutdown")
+                self._journal_close(session, now)
                 self.registry.remove(session.session_id)
             self.lib.runtime.finish(self.lib.clock_ns)
+        if self.session_journal is not None:
+            self.session_journal.close()
         for writer in list(self._writers):
             writer.close()
+
+    async def crash(self) -> None:
+        """Die like ``kill -9``: sockets drop, nothing is released.
+
+        The abrupt counterpart of :meth:`stop` for in-process restart
+        tests: no session is detached, no journal record is written,
+        no flush happens — exactly the state a SIGKILL leaves.  The
+        session journal and the durable pool files already on disk are
+        what recovery gets.
+        """
+        self._stopped = True
+        self._crashed = True
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+            try:
+                await self._sweeper
+            except asyncio.CancelledError:
+                pass
+        for server in self._servers:
+            server.close()
+        for writer in list(self._writers):
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+        if self.session_journal is not None:
+            # Only drops the file handle; appended records stay.
+            self.session_journal.close()
 
     async def serve_forever(self) -> None:
         await self.start()
@@ -273,6 +370,7 @@ class TerpService:
                 # replay cache go too.
                 if session.linger_expired(now, self.session_linger_ns):
                     self.registry.remove(session.session_id)
+                    self._journal_close(session, now)
             if self.obs.enabled and (forced or engine_closed):
                 self.obs.audit.record_sweep(
                     now, closed=forced + engine_closed,
@@ -294,7 +392,40 @@ class TerpService:
             pass
         session.note_forced_detach(pmo_id, pmo.name, now_ns,
                                    "session EW budget elapsed")
+        self._journal_detach(session, pmo_id, pmo.name, now_ns,
+                             forced=True,
+                             reason="session EW budget elapsed")
         self.metrics.note_forced_detach()
+
+    # -- session journal hooks ---------------------------------------------
+
+    def _journal_session(self, session: Session, now_ns: int) -> None:
+        if self.session_journal is not None:
+            self.session_journal.record_session(
+                sid=session.session_id, user=session.user,
+                token=session.resume_token,
+                budget_ns=session.ew_budget_ns, at_ns=now_ns)
+
+    def _journal_attach(self, session: Session, pmo_id: int,
+                        name: str, now_ns: int) -> None:
+        if self.session_journal is not None:
+            self.session_journal.record_attach(
+                sid=session.session_id, pmo_id=pmo_id, pmo=name,
+                at_ns=now_ns)
+
+    def _journal_detach(self, session: Session, pmo_id: int,
+                        name: str, now_ns: int, *,
+                        forced: bool = False,
+                        reason: str = "") -> None:
+        if self.session_journal is not None:
+            self.session_journal.record_detach(
+                sid=session.session_id, pmo_id=pmo_id, pmo=name,
+                at_ns=now_ns, forced=forced, reason=reason)
+
+    def _journal_close(self, session: Session, now_ns: int) -> None:
+        if self.session_journal is not None:
+            self.session_journal.record_close(
+                sid=session.session_id, at_ns=now_ns)
 
     def _release_session(self, session: Session, now_ns: int, *,
                          reason: str) -> int:
@@ -310,17 +441,19 @@ class TerpService:
         released = self.lib.runtime.release_entity(
             session.entity_id, now_ns, forced=forced, reason=reason)
         for pmo_id, _ in released:
+            try:
+                name = self.lib.manager.get(pmo_id).name
+            except PmoError:
+                name = str(pmo_id)
             if forced:
                 # Mark the pair forced so a *resumed* session's stale
                 # detach is the defined silent no-op, and queue the
                 # forced-detach event for its next response.
-                try:
-                    name = self.lib.manager.get(pmo_id).name
-                except PmoError:
-                    name = str(pmo_id)
                 session.note_forced_detach(pmo_id, name, now_ns, reason)
             else:
                 session.note_detach(pmo_id)
+            self._journal_detach(session, pmo_id, name, now_ns,
+                                 forced=forced, reason=reason)
             if reason == "connection lost":
                 self.metrics.note_disconnect_detach()
         session.attached_at.clear()
@@ -343,6 +476,9 @@ class TerpService:
             if session is not None:
                 session.note_forced_detach(pmo_id, name, now,
                                            "arch engine forced detach")
+                self._journal_detach(session, pmo_id, name, now,
+                                     forced=True,
+                                     reason="arch engine forced detach")
                 self.metrics.note_forced_detach()
 
     # -- connection handling ---------------------------------------------------
@@ -404,6 +540,7 @@ class TerpService:
             self._writers.discard(writer)
             session = conn.session
             if session is not None and not session.closed and \
+                    not self._crashed and \
                     session.generation == conn.generation:
                 # Temporal protection does not wait for a resume: every
                 # window closes *now*, forced and attributed.  Only the
@@ -432,6 +569,7 @@ class TerpService:
             now = self.lib.advance_to(self.now_ns())
             self._release_session(session, now,
                                   reason="session crashed (injected)")
+            self._journal_close(session, now)
         self.registry.remove(session.session_id)
         self.metrics.note_session_closed()
         self._sessions_gauge.set(len(self.registry))
@@ -525,6 +663,7 @@ class TerpService:
             session = self.registry.create(
                 user=str(args.get("user", "root")),
                 ew_budget_ns=budget_ns)
+            self._journal_session(session, self.lib.clock_ns)
         conn.generation = session.bind()
         conn.session = session
         self.metrics.note_session_opened()
@@ -560,6 +699,7 @@ class TerpService:
         assert session is not None
         released = self._release_session(session, self.lib.clock_ns,
                                          reason="goodbye")
+        self._journal_close(session, self.lib.clock_ns)
         self.registry.remove(session.session_id)
         self.metrics.note_session_closed()
         self._sessions_gauge.set(len(self.registry))
@@ -597,6 +737,8 @@ class TerpService:
             "audit": self.obs.audit.summary(),
             "trace": self.obs.tracer.stats(),
         }
+        if self.recovery_report is not None:
+            out["recovery"] = self.recovery_report.to_dict()
         if conn.session is not None:
             out["session"] = conn.session.metrics.to_dict()
         return out
@@ -686,12 +828,20 @@ class TerpService:
                            requested=access):
             raise PmoError(f"user {session.user!r} denied {access} on "
                            f"PMO {pmo.name!r}")
+        if pmo.quarantined and access & Access.WRITE:
+            # A quarantined PMO (unrepairable integrity failure) stays
+            # readable for forensics but never writable.
+            raise IntegrityError(
+                f"PMO {pmo.name!r} is quarantined "
+                f"({pmo.quarantine_reason}); write attach denied",
+                pmo=pmo.name)
         now = self.lib.clock_ns
         result = self.lib.runtime.attach(session.entity_id, pmo, access,
                                          now)
         if not result.ok:
             raise PmoError(f"attach failed: {result.decision.reason}")
         session.note_attach(pmo.pmo_id, now)
+        self._journal_attach(session, pmo.pmo_id, pmo.name, now)
         self.metrics.note_attach()
         return {"outcome": result.decision.outcome.value,
                 "base_va": result.handle.base_va_at_attach,
@@ -710,6 +860,8 @@ class TerpService:
         decision = self.lib.runtime.detach(session.entity_id, pmo,
                                            self.lib.clock_ns)
         session.note_detach(pmo.pmo_id)
+        self._journal_detach(session, pmo.pmo_id, pmo.name,
+                             self.lib.clock_ns)
         self.metrics.note_detach()
         return {"outcome": decision.outcome.value,
                 "reason": decision.reason}
@@ -808,7 +960,8 @@ class ServiceThread:
         await self.service.start()
         self._started.set()
         await self._stop.wait()
-        await self.service.stop()
+        if not self.service._crashed:
+            await self.service.stop()
 
     def stop(self, timeout: float = 10.0) -> None:
         if self._thread is None:
@@ -818,6 +971,30 @@ class ServiceThread:
         self._thread.join(timeout)
         if self._thread.is_alive():
             raise TerpError("terpd thread did not stop in time")
+        self._thread = None
+
+    def kill(self, timeout: float = 10.0) -> None:
+        """SIGKILL the daemon, in-process: abrupt death, no shutdown.
+
+        Sessions are not released, the session journal gets no
+        goodbye records, nothing is flushed — the pool directory is
+        left exactly as the last ``psync`` put it.  Restart by
+        constructing a fresh :class:`TerpService` on the same
+        ``pool_dir``.
+        """
+        if self._thread is None:
+            return
+        if self._loop is not None and self._stop is not None:
+            future = asyncio.run_coroutine_threadsafe(
+                self.service.crash(), self._loop)
+            try:
+                future.result(timeout)
+            except Exception:
+                pass
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise TerpError("terpd thread did not die in time")
         self._thread = None
 
     def __enter__(self) -> TerpService:

@@ -195,6 +195,32 @@ class SessionRegistry:
         self._sessions[sid] = session
         return session
 
+    def restore(self, *, session_id: int, user: str,
+                ew_budget_ns: int, resume_token: str,
+                disconnected_at_ns: int) -> Session:
+        """Re-materialize a journaled session at warm restart.
+
+        The session keeps its original id, entity id, EW budget, and —
+        critically — its resume token, so a client that outlived the
+        daemon crash can rebind with the token it already holds.  The
+        restored session starts *lingering* (no connection is bound);
+        the normal linger purge applies from ``disconnected_at_ns``,
+        which recovery sets to the restart instant.
+        """
+        if session_id in self._sessions:
+            raise TerpError(f"session {session_id} already exists")
+        session = Session(session_id=session_id,
+                          entity_id=self.FIRST_ENTITY_ID + session_id,
+                          user=user, ew_budget_ns=ew_budget_ns,
+                          resume_token=resume_token,
+                          disconnected_at_ns=disconnected_at_ns)
+        self._sessions[session_id] = session
+        # Keep id allocation ahead of every restored session.
+        self._next = itertools.count(
+            max(session_id + 1,
+                max(self._sessions) + 1 if self._sessions else 1))
+        return session
+
     def get(self, session_id: int) -> Session:
         session = self._sessions.get(session_id)
         if session is None:

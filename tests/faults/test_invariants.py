@@ -161,3 +161,95 @@ class TestAgainstLiveTimeline:
         assert not report.ok
         assert any(v.invariant == "bounded-exposure"
                    for v in report.violations)
+
+
+def restart(at, downtime):
+    return {"kind": "restart", "entity": None, "pmo_id": None,
+            "pmo": None, "at_ns": at, "duration_ns": downtime,
+            "reason": "warm restart"}
+
+
+class TestI6RestartExposure:
+    """I6: exposure bounded across restart — the outage extends the
+    allowance exactly once, and recovery must force-close, promptly,
+    every window that was open across it."""
+
+    def test_forced_close_at_restart_is_ok(self):
+        # Attach at 0, crash, 400ns outage, recovery closes forced.
+        report = check_events(
+            [attach(1, 10, 0), restart(450, 400),
+             detach(1, 10, 450, 450, forced=True,
+                    reason="EW budget elapsed during daemon outage")],
+            ew_budget_ns=100, slack_ns=50)
+        assert report.ok, report.describe()
+
+    def test_outage_extends_allowance_only_for_spanning_windows(self):
+        # A window opened *after* the restart gets no outage credit.
+        report = check_events(
+            [restart(100, 400),
+             attach(1, 10, 200), detach(1, 10, 700, 500)],
+            ew_budget_ns=100, slack_ns=50)
+        assert not report.ok
+        assert report.violations[0].invariant == "bounded-exposure"
+
+    def test_voluntary_close_across_restart_violates(self):
+        # Recovery may never hand a pre-crash window back.
+        report = check_events(
+            [attach(1, 10, 0), restart(450, 400),
+             detach(1, 10, 460, 460)],
+            ew_budget_ns=100, slack_ns=50)
+        assert not report.ok
+        assert any(v.invariant == "restart-exposure"
+                   for v in report.violations)
+
+    def test_late_forced_close_after_restart_violates(self):
+        # Forced, but long after the restart instant: enforcement
+        # cannot lag recovery by more than the slack.
+        report = check_events(
+            [attach(1, 10, 0), restart(450, 400),
+             detach(1, 10, 900, 900, forced=True, reason="late")],
+            ew_budget_ns=100, slack_ns=50)
+        assert not report.ok
+        assert any(v.invariant == "restart-exposure"
+                   for v in report.violations)
+
+    def test_never_closed_after_restart_violates(self):
+        report = check_events(
+            [attach(1, 10, 0), restart(450, 400)],
+            ew_budget_ns=100, slack_ns=50)
+        assert not report.ok
+        assert any(v.invariant == "restart-exposure"
+                   for v in report.violations)
+
+    def test_window_closed_before_restart_unaffected(self):
+        report = check_events(
+            [attach(1, 10, 0), detach(1, 10, 80, 80),
+             restart(450, 400),
+             attach(1, 10, 500), detach(1, 10, 560, 60)],
+            ew_budget_ns=100, slack_ns=50)
+        assert report.ok, report.describe()
+
+    def test_two_restarts_both_credited(self):
+        # A window spanning two outages gets both downtimes.
+        report = check_events(
+            [attach(1, 10, 0),
+             restart(200, 150), restart(500, 250),
+             detach(1, 10, 500, 500, forced=True, reason="outage")],
+            ew_budget_ns=100, slack_ns=50)
+        assert report.ok, report.describe()
+
+    def test_wrapped_timeline_grants_total_downtime(self):
+        # Degraded I6 on a wrapped ring: every window gets the total
+        # retained downtime as extra slack.
+        audit = AuditTimeline(capacity=4)
+        audit.record_attach(1, 10, "data", 0)
+        audit.record_restart(450, downtime_ns=400)
+        audit.record_detach(1, 10, "data", 450, forced=True,
+                            reason="outage")
+        # Force the wrap accounting path.
+        for i in range(6):
+            audit.record_attach(2, 11, "x", 500 + i)
+            audit.record_detach(2, 11, "x", 501 + i)
+        assert audit.events_recorded > audit.capacity
+        report = check_timeline(audit, ew_budget_ns=100, slack_ns=50)
+        assert not report.pairing_checked

@@ -144,3 +144,61 @@ class TestLogSpace:
         log.log_write(0, b"BBBB")
         log.commit()
         assert mem.read(0, 4) == b"BBBB"
+
+
+class TestTornCommitRecord:
+    """A crash can tear the commit record itself: the tag byte (or the
+    tx id behind it) lands garbled.  Recovery must treat everything
+    from the torn header on as an unsealed tail — the transaction is
+    discarded, never an exception."""
+
+    def _torn_log(self, garbage_tag):
+        """An open tx whose commit record's tag byte landed as
+        ``garbage_tag`` (the rest of the record never made it)."""
+        log, mem = make_log()
+        log.begin()
+        log.log_write(100, b"doomed")
+        mem.write(log.base + log._tail, bytes([garbage_tag]))
+        return log, mem
+
+    @pytest.mark.parametrize("garbage_tag", [4, 5, 0x7F, 0xFF])
+    def test_garbled_tag_discards_tx(self, garbage_tag):
+        log, mem = self._torn_log(garbage_tag)
+        recovered = RedoLog(mem, base=log.base, size=log.size,
+                            recover=True)
+        assert mem.read(100, 6) == b"\x00" * 6
+        assert not recovered.in_transaction
+
+    def test_earlier_committed_tx_survives_torn_tail(self):
+        log, mem = make_log()
+        log.begin()
+        log.log_write(50, b"keep")
+        log.commit()
+        log.begin()
+        log.log_write(100, b"doomed")
+        mem.write(log.base + log._tail, bytes([0x7F]))
+        RedoLog(mem, base=log.base, size=log.size, recover=True)
+        assert mem.read(50, 4) == b"keep"
+        assert mem.read(100, 6) == b"\x00" * 6
+
+    def test_log_usable_after_torn_recovery(self):
+        log, mem = self._torn_log(0xFF)
+        recovered = RedoLog(mem, base=log.base, size=log.size,
+                            recover=True)
+        recovered.begin()
+        recovered.log_write(200, b"fresh")
+        recovered.commit()
+        assert mem.read(200, 5) == b"fresh"
+
+    def test_torn_write_record_header_discarded(self):
+        """Even a WRITE record whose header was cut by the region end
+        is an unsealed tail, not an error."""
+        log, mem = make_log(log_size=256)
+        log.begin()
+        log.log_write(0, b"x" * 200)
+        # Overwrite the end marker with a WRITE tag whose header runs
+        # off the end of the region.
+        mem.write(log.base + log._tail, bytes([1]))
+        recovered = RedoLog(mem, base=log.base, size=log.size,
+                            recover=True)
+        assert not recovered.in_transaction
