@@ -31,7 +31,6 @@ from benchmarks.conftest import run_once
 from repro.core.units import MIB
 from repro.obs.registry import Histogram
 from repro.service.client import SyncTerpClient
-from repro.service.protocol import encode_bytes
 from repro.service.server import ServiceThread, TerpService
 
 #: Closed-loop load: each session issues its next cycle as soon as the
@@ -73,8 +72,10 @@ def _tenant_loop(port: int, idx: int, oids, errors,
             for round_no in range(ROUNDS):
                 t0 = time.perf_counter_ns()
                 client.attach("bench")
+                # Raw bytes: the client moves them over the v2 binary
+                # sidecar (or base64s them itself on a v1 wire).
                 client.pipeline([("write", {"oid": packed,
-                                            "data": encode_bytes(payload)})
+                                            "data": payload})
                                  for _ in range(PIPELINE_DEPTH)])
                 client.psync("bench")
                 assert client.read(oids[idx], 64) == payload

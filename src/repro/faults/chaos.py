@@ -396,9 +396,9 @@ class RestartChaosResult:
 def run_restart_chaos(seed: int, *,
                       plan: Optional[FaultPlan] = None,
                       pool_dir: Optional[str] = None,
-                      session_ew_ns: int = 40_000_000,
+                      session_ew_ns: int = 80_000_000,
                       sweep_period_ns: int = 3_000_000,
-                      downtime_s: float = 0.12) -> RestartChaosResult:
+                      downtime_s: float = 0.2) -> RestartChaosResult:
     """One seeded kill-and-restart run; returns the full verdict.
 
     The workload commits data through ``psync`` (under injected torn
@@ -410,6 +410,12 @@ def run_restart_chaos(seed: int, *,
     token, the squatter's window force-closed at recovery and
     attributed to the outage, and the merged pre/post-crash audit
     timeline satisfying invariants I1-I6.
+
+    The writer's EW budget must leave headroom for the pre-kill
+    workload's five psyncs — each pays the group-commit window plus
+    two thread handoffs — even on a loaded runner; the downtime in
+    turn must comfortably outlast that budget so the squatter's
+    force-close is attributable to the outage.
     """
     if plan is None:
         plan = restart_plan(seed)

@@ -18,7 +18,7 @@ import contextlib
 import struct
 import threading
 import time
-from typing import TYPE_CHECKING, Iterator, Optional
+from typing import TYPE_CHECKING, Any, Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -232,12 +232,55 @@ class PmoLibrary:
             if pmo.log.in_transaction:
                 flushed = len(pmo.log.pending_writes)
                 pmo.commit_tx()
-            if self.store is not None:
+            if self.store is not None and \
+                    getattr(pmo.storage, "dirty", None):
+                # The dirty check (after any tx commit, which itself
+                # dirties pages) is the zero-I/O fast path: a psync
+                # with nothing pending never touches the store — no
+                # journal round-trip, no file open, no lock traffic.
                 flushed += self.store.flush(pmo)
         if tracer is not None:
             tracer.record_since("lib.psync", t0, pmo=pmo.name,
                                 flushed=flushed)
         return flushed
+
+    def psync_submit(self, pmo: Pmo) -> "Tuple[int, Optional[Any]]":
+        """``psync``, split for group commit: snapshot now, fsync later.
+
+        Commits the open transaction and *snapshots* the dirty pages
+        onto the store's group committer instead of flushing inline.
+        Returns ``(count, ticket)``: ``count`` is what is already
+        certain (log writes committed), ``ticket`` is ``None`` when
+        there was nothing to flush (the zero-dirty fast path) or a
+        :class:`~repro.pmo.store.CommitTicket` whose ``wait()`` —
+        callable off the serving thread — adds the flushed page count
+        once the batch is durable.  Durability semantics are those of
+        :meth:`psync`: nothing is promised until the ticket retires.
+        """
+        tracer = self._tracer
+        t0 = tracer.clock() if tracer is not None else 0
+        if self.faults is not None:
+            rule = self.faults.fire("lib.psync_stall")
+            if rule is not None and rule.delay_ns > 0:
+                time.sleep(rule.delay_ns / 1e9)
+        with self.lock:
+            if pmo.quarantined:
+                raise IntegrityError(
+                    f"PMO {pmo.name!r} is quarantined "
+                    f"({pmo.quarantine_reason}); psync denied",
+                    pmo=pmo.name)
+            flushed = 0
+            if pmo.log.in_transaction:
+                flushed = len(pmo.log.pending_writes)
+                pmo.commit_tx()
+            ticket = None
+            if self.store is not None and \
+                    getattr(pmo.storage, "dirty", None):
+                ticket = self.store.flush_async(pmo)
+        if tracer is not None:
+            tracer.record_since("lib.psync", t0, pmo=pmo.name,
+                                flushed=flushed)
+        return flushed, ticket
 
     # -- guarded data access -------------------------------------------------
 

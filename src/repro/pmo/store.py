@@ -53,9 +53,10 @@ import os
 import re
 import struct
 import threading
+import time
 import zlib
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set, Tuple
 
 if TYPE_CHECKING:
     from repro.faults.plan import FaultPlan
@@ -82,6 +83,12 @@ _JRN_COMMIT = struct.Struct("<8sQ")
 
 #: Default bound on pages verified per scrub pass.
 SCRUB_PAGES_PER_PASS = 8
+
+#: Group commit window: how long the flusher thread waits for more
+#: concurrent flushers to pile onto a batch before fsyncing it.
+DEFAULT_COMMIT_INTERVAL_US = 200
+#: Upper bound on snapshots folded into one group-commit batch.
+DEFAULT_COMMIT_MAX_BATCH = 64
 
 
 def _page_crc(page: bytes) -> int:
@@ -112,8 +119,7 @@ class DurablePages(SparseBytes):
         super().write(offset, data)
         first = offset // PAGE_SIZE
         last = (offset + max(0, len(data) - 1)) // PAGE_SIZE
-        for index in range(first, last + 1):
-            self.dirty.add(index)
+        self.dirty.update(range(first, last + 1))
 
 
 class _StoreEntry:
@@ -129,6 +135,177 @@ class _StoreEntry:
         self.journal_path = journal_path
         self.flush_seq = 0
         self.scrub_cursor = 0
+
+
+class CommitTicket:
+    """A parked flusher's handle on an in-flight group commit.
+
+    ``psync`` snapshots its dirty pages, enqueues them, and parks on
+    the ticket; the committer's leader thread retires it once the
+    whole batch is journaled, home, and fsynced.  ``wait`` returns the
+    snapshot's page count or re-raises the batch's failure.
+    """
+
+    __slots__ = ("_done", "pages", "error")
+
+    def __init__(self) -> None:
+        self._done = threading.Event()
+        self.pages = 0
+        self.error: Optional[BaseException] = None
+
+    def complete(self, pages: int) -> None:
+        self.pages = pages
+        self._done.set()
+
+    def fail(self, error: BaseException) -> None:
+        self.error = error
+        self._done.set()
+
+    def wait(self, timeout: Optional[float] = 60.0) -> int:
+        if not self._done.wait(timeout):
+            raise PmoError("group commit ticket timed out")
+        if self.error is not None:
+            raise self.error
+        return self.pages
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+
+class GroupCommitter:
+    """One leader thread fsyncs many concurrent flushers' batches.
+
+    Concurrent ``psync`` callers snapshot their dirty pages (cheap,
+    under the metadata lock) and park on a :class:`CommitTicket`; the
+    dedicated flusher thread gathers every snapshot that arrives
+    within the commit window (``interval_us``, bounded by
+    ``max_batch``), merges same-PMO snapshots in submit order, and
+    commits each PMO's merged batch through the unchanged
+    journal-before-home protocol — so N concurrent psyncs cost one
+    journal fsync + one home fsync per PMO instead of N of each.
+
+    Crash semantics are those of the underlying
+    :meth:`PmoStore._commit_entry`: a ticket only retires after its
+    batch's journal *and* home slots are durable, so anything a
+    returned ``psync`` promised is recoverable; a crash mid-batch
+    leaves either an unapplied journal or a committed journal that
+    recovery replays.
+    """
+
+    def __init__(self, store: "PmoStore", *,
+                 interval_us: int = DEFAULT_COMMIT_INTERVAL_US,
+                 max_batch: int = DEFAULT_COMMIT_MAX_BATCH) -> None:
+        self._store = store
+        self.interval_s = max(0, interval_us) / 1e6
+        self.max_batch = max(1, max_batch)
+        self._cond = threading.Condition()
+        self._queue: List[Tuple["_StoreEntry",
+                                List[Tuple[int, bytes]],
+                                CommitTicket]] = []
+        self._thread: Optional[threading.Thread] = None
+        self._stopping = False
+        self._aborted = False
+        #: observability: batches committed / snapshots submitted.
+        self.batches = 0
+        self.submitted = 0
+
+    def submit(self, entry: "_StoreEntry",
+               pages: List[Tuple[int, bytes]]) -> CommitTicket:
+        ticket = CommitTicket()
+        with self._cond:
+            if self._aborted or self._stopping:
+                ticket.fail(PmoError("group committer is stopped"))
+                return ticket
+            self._queue.append((entry, pages, ticket))
+            self.submitted += 1
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._run, name="terp-group-commit",
+                    daemon=True)
+                self._thread.start()
+            self._cond.notify()
+        return ticket
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue:
+                    if self._stopping:
+                        return
+                    self._cond.wait()
+                if self.interval_s > 0 and not self._stopping and \
+                        len(self._queue) < self.max_batch:
+                    # The commit window: let concurrent flushers pile
+                    # on before the leader pays the fsyncs.
+                    self._cond.wait(self.interval_s)
+                batch = self._queue[:self.max_batch]
+                del self._queue[:len(batch)]
+            if batch:
+                self._commit_batch(batch)
+
+    def _commit_batch(self, batch: List[Tuple["_StoreEntry",
+                                              List[Tuple[int, bytes]],
+                                              CommitTicket]]) -> None:
+        self.batches += 1
+        # Merge same-PMO snapshots in submit order: later snapshots of
+        # a page supersede earlier ones within the combined journal.
+        groups: Dict[int, Tuple["_StoreEntry", Dict[int, bytes],
+                                List[Tuple[CommitTicket, int]]]] = {}
+        for entry, pages, ticket in batch:
+            key = id(entry)
+            group = groups.get(key)
+            if group is None:
+                groups[key] = (entry, dict(pages),
+                               [(ticket, len(pages))])
+            else:
+                group[1].update(pages)
+                group[2].append((ticket, len(pages)))
+        for entry, merged, tickets in groups.values():
+            pages = sorted(merged.items())
+            try:
+                self._store._commit_entry(entry, pages)
+            except BaseException as exc:
+                for ticket, _ in tickets:
+                    ticket.fail(exc)
+            else:
+                for ticket, count in tickets:
+                    ticket.complete(count)
+
+    def stop(self, drain: bool = True) -> None:
+        """Graceful shutdown: by default every queued snapshot still
+        commits before the flusher exits."""
+        with self._cond:
+            self._stopping = True
+            if not drain:
+                for _, _, ticket in self._queue:
+                    ticket.fail(PmoError("group committer stopped "
+                                         "before the commit"))
+                self._queue.clear()
+            self._cond.notify_all()
+            thread = self._thread
+            self._thread = None
+        if thread is not None:
+            thread.join(10.0)
+
+    def abort(self) -> None:
+        """Crash-path shutdown (the in-process SIGKILL): queued
+        snapshots are dropped un-flushed — their psyncs never
+        returned, so nothing durable was promised — and the flusher
+        is joined so it cannot race a restarted service's recovery of
+        the same pool directory."""
+        with self._cond:
+            self._aborted = True
+            self._stopping = True
+            for _, _, ticket in self._queue:
+                ticket.fail(PmoError("daemon crashed before the "
+                                     "commit"))
+            self._queue.clear()
+            self._cond.notify_all()
+            thread = self._thread
+            self._thread = None
+        if thread is not None:
+            thread.join(10.0)
 
 
 class LoadReport:
@@ -156,7 +333,10 @@ class PmoStore:
 
     def __init__(self, root: os.PathLike, *,
                  faults: Optional["FaultPlan"] = None,
-                 fsync: bool = True) -> None:
+                 fsync: bool = True,
+                 commit_interval_us: int = DEFAULT_COMMIT_INTERVAL_US,
+                 commit_max_batch: int = DEFAULT_COMMIT_MAX_BATCH) \
+            -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         #: optional fault plan; sites ``store.torn_page`` (a home-slot
@@ -168,7 +348,25 @@ class PmoStore:
         self._entries: Dict[str, _StoreEntry] = {}
         self._scrub_order: List[str] = []
         self._scrub_next = 0
+        #: metadata lock: entries, dirty sets, flush_seq, scrub state.
         self._lock = threading.RLock()
+        #: file-I/O lock: journal/home/scrub writes serialize on this,
+        #: never on ``_lock`` — snapshots on the serving thread stay
+        #: cheap while the flusher thread holds fsyncs.  Ordering is
+        #: always ``_lock`` before ``_io_lock``; the flusher takes
+        #: only ``_io_lock``.
+        self._io_lock = threading.Lock()
+        self.committer = GroupCommitter(
+            self, interval_us=commit_interval_us,
+            max_batch=commit_max_batch)
+
+    def close(self) -> None:
+        """Drain and stop the group committer (graceful shutdown)."""
+        self.committer.stop(drain=True)
+
+    def abort_commits(self) -> None:
+        """Kill the group committer without flushing (crash path)."""
+        self.committer.abort()
 
     # -- registration ------------------------------------------------------
 
@@ -197,7 +395,7 @@ class PmoStore:
             self._entries[pmo.name] = entry
             self._scrub_order.append(pmo.name)
             if not entry.path.exists():
-                with open(entry.path, "wb") as fh:
+                with self._io_lock, open(entry.path, "wb") as fh:
                     fh.write(self._header_bytes(pmo))
                     if self.fsync:
                         fh.flush()
@@ -214,8 +412,9 @@ class PmoStore:
         """Remove a PMO's durable files (``PMO_destroy``)."""
         with self._lock:
             self.unregister(name)
-            self.path_for(name).unlink(missing_ok=True)
-            self.journal_path_for(name).unlink(missing_ok=True)
+            with self._io_lock:
+                self.path_for(name).unlink(missing_ok=True)
+                self.journal_path_for(name).unlink(missing_ok=True)
 
     def registered(self) -> List[str]:
         with self._lock:
@@ -234,13 +433,14 @@ class PmoStore:
 
     # -- flush (the durability point) --------------------------------------
 
-    def flush(self, pmo: "Pmo") -> int:
-        """Persist the PMO's dirty pages; returns pages flushed.
+    def _snapshot(self, pmo: "Pmo") -> Optional[
+            Tuple[_StoreEntry, List[Tuple[int, bytes]]]]:
+        """Stage a flush: copy the dirty pages and claim a flush_seq.
 
-        Double-write protocol: journal first (fsync), then home slots
-        (fsync), then retire the journal.  A crash between the two
-        fsyncs leaves a complete journal from which every home page is
-        repairable.
+        Metadata-lock only — no file I/O — so the serving thread pays
+        microseconds here while the fsyncs happen on the committer's
+        thread.  The dirty set clears at snapshot time: pages written
+        *after* the snapshot re-dirty and belong to the next flush.
         """
         with self._lock:
             entry = self._entries.get(pmo.name)
@@ -249,9 +449,28 @@ class PmoStore:
                                "with the durable store")
             storage = pmo.storage
             assert isinstance(storage, DurablePages)
+            if not storage.dirty:
+                return None
             dirty = sorted(storage.dirty)
-            if not dirty:
-                return 0
+            entry.flush_seq += 1
+            resident = storage._pages
+            blank = b"\x00" * PAGE_SIZE
+            pages = [(index, bytes(resident.get(index, blank)))
+                     for index in dirty]
+            storage.dirty.clear()
+            return entry, pages
+
+    def _commit_entry(self, entry: _StoreEntry,
+                      pages: List[Tuple[int, bytes]]) -> None:
+        """Make one PMO's page batch durable: journal-before-home.
+
+        Double-write protocol, unchanged from the per-psync era:
+        journal first (fsync), then home slots (fsync), then retire
+        the journal.  A crash between the two fsyncs leaves a complete
+        journal from which every home page is repairable.  Holds only
+        the I/O lock — the metadata lock stays free for snapshots.
+        """
+        with self._io_lock:
             pending = self._journal_pages(entry.journal_path)
             if pending:
                 # A journal survives a flush only when a home write was
@@ -259,9 +478,6 @@ class PmoStore:
                 # it, or the torn page would lose its repair source.
                 self._apply_pages(entry.path, pending)
                 entry.journal_path.unlink(missing_ok=True)
-            entry.flush_seq += 1
-            pages = [(index, bytes(storage._pages.get(
-                index, b"\x00" * PAGE_SIZE))) for index in dirty]
             self._write_journal(entry, pages)
             torn_pages, rot_pages = self._write_home(entry, pages)
             if not torn_pages:
@@ -271,18 +487,49 @@ class PmoStore:
                 entry.journal_path.unlink(missing_ok=True)
             if rot_pages:
                 self._inject_bit_rot(entry, rot_pages)
-            storage.dirty.clear()
-            return len(pages)
+
+    def flush(self, pmo: "Pmo") -> int:
+        """Persist the PMO's dirty pages; returns pages flushed.
+
+        Zero dirty pages is the guaranteed fast path: no journal read,
+        no file open, no I/O lock — ``psync`` on a clean PMO costs a
+        dict lookup.  Otherwise the snapshot rides the group committer
+        so concurrent flushers share fsyncs; this call parks until its
+        ticket retires (the durability promise is unchanged).
+        """
+        ticket = self.flush_async(pmo)
+        if ticket is None:
+            return 0
+        return ticket.wait()
+
+    def flush_async(self, pmo: "Pmo") -> Optional[CommitTicket]:
+        """Snapshot + enqueue on the group committer, without waiting.
+
+        Returns ``None`` when the PMO has no dirty pages (the zero-I/O
+        fast path); otherwise a :class:`CommitTicket` whose ``wait()``
+        returns the page count once the batch is durable.
+        """
+        snap = self._snapshot(pmo)
+        if snap is None:
+            return None
+        entry, pages = snap
+        return self.committer.submit(entry, pages)
 
     def _write_journal(self, entry: _StoreEntry,
                        pages: List[Tuple[int, bytes]]) -> None:
+        # Single joined write: the journal blob is assembled in memory
+        # (headers pre-packed per page) and hits the file in one
+        # syscall before the one fsync.
+        crc32 = zlib.crc32
+        jrn_page = _JRN_PAGE.pack
+        parts = [_JRN_HEAD.pack(JOURNAL_MAGIC, entry.flush_seq,
+                                len(pages))]
+        for index, page in pages:
+            parts.append(jrn_page(index, crc32(page) & 0xFFFFFFFF))
+            parts.append(page)
+        parts.append(_JRN_COMMIT.pack(JOURNAL_COMMIT, entry.flush_seq))
         with open(entry.journal_path, "wb") as fh:
-            fh.write(_JRN_HEAD.pack(JOURNAL_MAGIC, entry.flush_seq,
-                                    len(pages)))
-            for index, page in pages:
-                fh.write(_JRN_PAGE.pack(index, _page_crc(page)))
-                fh.write(page)
-            fh.write(_JRN_COMMIT.pack(JOURNAL_COMMIT, entry.flush_seq))
+            fh.write(b"".join(parts))
             fh.flush()
             if self.fsync:
                 os.fsync(fh.fileno())
@@ -293,24 +540,30 @@ class PmoStore:
         """Write page slots; returns (torn, rotted) injected indices."""
         torn: List[int] = []
         rot: List[int] = []
+        faults = self.faults
+        crc32 = zlib.crc32
+        trailer_pack = TRAILER.pack
         with open(entry.path, "r+b") as fh:
+            seek = fh.seek
+            write = fh.write
             for index, page in pages:
-                trailer = TRAILER.pack(_page_crc(page), PAGE_MARKER)
-                fh.seek(HEADER_SPAN + index * SLOT_SIZE)
-                if self.faults is not None and \
-                        self.faults.fire("store.torn_page") is not None:
+                trailer = trailer_pack(crc32(page) & 0xFFFFFFFF,
+                                       PAGE_MARKER)
+                seek(HEADER_SPAN + index * SLOT_SIZE)
+                if faults is not None and \
+                        faults.fire("store.torn_page") is not None:
                     # Torn mid-page: half the new bytes land, the
                     # trailer claims the full new CRC — exactly what a
                     # crash between the two media writes leaves.
-                    fh.write(page[:PAGE_SIZE // 2])
-                    fh.seek(HEADER_SPAN + index * SLOT_SIZE + PAGE_SIZE)
-                    fh.write(trailer)
+                    write(page[:PAGE_SIZE // 2])
+                    seek(HEADER_SPAN + index * SLOT_SIZE + PAGE_SIZE)
+                    write(trailer)
                     torn.append(index)
                     continue
-                fh.write(page)
-                fh.write(trailer)
-                if self.faults is not None and \
-                        self.faults.fire("store.bit_rot") is not None:
+                # Page + trailer as one slab write, not two.
+                write(page + trailer)
+                if faults is not None and \
+                        faults.fire("store.bit_rot") is not None:
                     rot.append(index)
             fh.flush()
             if self.fsync:
@@ -397,40 +650,45 @@ class PmoStore:
             entry = self._entries.get(name)
             if entry is None:
                 raise PmoError(f"PMO {name!r} is not registered")
-            with open(entry.path, "rb") as fh:
-                page, crc, marker = self._read_slot(fh, index)
-            if marker != PAGE_MARKER:
-                return "absent"
-            if _page_crc(page) == crc:
-                return "ok"
-            journal = self._journal_pages(entry.journal_path)
-            good = journal.get(index) if journal else None
-            if good is None:
-                resident = entry.pmo.storage._pages.get(index)
-                if not repair or resident is None:
-                    entry.pmo.quarantine(
-                        f"page {index} failed CRC with no journal copy")
-                    raise IntegrityError(
-                        f"PMO {name!r} page {index}: CRC mismatch, "
-                        "no repair source (bit rot)", pmo=name,
-                        page_index=index)
-                good = bytes(resident)
-                outcome = "repaired-from-memory"
-            else:
-                if not repair:
-                    raise TornPageError(
-                        f"PMO {name!r} page {index}: CRC mismatch, "
-                        "journal copy available", pmo=name,
-                        page_index=index)
-                outcome = "repaired"
-            with open(entry.path, "r+b") as fh:
-                fh.seek(HEADER_SPAN + index * SLOT_SIZE)
-                fh.write(good)
-                fh.write(TRAILER.pack(_page_crc(good), PAGE_MARKER))
-                fh.flush()
-                if self.fsync:
-                    os.fsync(fh.fileno())
-            return outcome
+            # The whole read-check-repair sequence holds the I/O lock
+            # so it cannot interleave with a group-commit batch
+            # rewriting the same slots.
+            with self._io_lock:
+                with open(entry.path, "rb") as fh:
+                    page, crc, marker = self._read_slot(fh, index)
+                if marker != PAGE_MARKER:
+                    return "absent"
+                if _page_crc(page) == crc:
+                    return "ok"
+                journal = self._journal_pages(entry.journal_path)
+                good = journal.get(index) if journal else None
+                if good is None:
+                    resident = entry.pmo.storage._pages.get(index)
+                    if not repair or resident is None:
+                        entry.pmo.quarantine(
+                            f"page {index} failed CRC with no journal "
+                            "copy")
+                        raise IntegrityError(
+                            f"PMO {name!r} page {index}: CRC mismatch, "
+                            "no repair source (bit rot)", pmo=name,
+                            page_index=index)
+                    good = bytes(resident)
+                    outcome = "repaired-from-memory"
+                else:
+                    if not repair:
+                        raise TornPageError(
+                            f"PMO {name!r} page {index}: CRC mismatch, "
+                            "journal copy available", pmo=name,
+                            page_index=index)
+                    outcome = "repaired"
+                with open(entry.path, "r+b") as fh:
+                    fh.seek(HEADER_SPAN + index * SLOT_SIZE)
+                    fh.write(good + TRAILER.pack(_page_crc(good),
+                                                 PAGE_MARKER))
+                    fh.flush()
+                    if self.fsync:
+                        os.fsync(fh.fileno())
+                return outcome
 
     def present_pages(self, name: str) -> List[int]:
         """Indices of flushed (marker-bearing) pages on disk."""
@@ -438,15 +696,26 @@ class PmoStore:
             entry = self._entries.get(name)
             if entry is None:
                 raise PmoError(f"PMO {name!r} is not registered")
-            present = []
-            size = entry.path.stat().st_size
-            count = max(0, (size - HEADER_SPAN) + SLOT_SIZE - 1) \
+            # One read + a memoryview trailer scan, not a seek/read
+            # pair per slot.
+            with self._io_lock:
+                raw = entry.path.read_bytes()
+            count = max(0, (len(raw) - HEADER_SPAN) + SLOT_SIZE - 1) \
                 // SLOT_SIZE
-            with open(entry.path, "rb") as fh:
-                for index in range(count):
-                    _, _, marker = self._read_slot(fh, index)
-                    if marker == PAGE_MARKER:
-                        present.append(index)
+            view = memoryview(raw)
+            present = []
+            unpack_from = TRAILER.unpack_from
+            for index in range(count):
+                tail = HEADER_SPAN + index * SLOT_SIZE + PAGE_SIZE
+                if tail + TRAILER.size <= len(raw):
+                    _, marker = unpack_from(view, tail)
+                elif tail < len(raw):
+                    _, marker = TRAILER.unpack(
+                        bytes(view[tail:]).ljust(TRAILER.size, b"\x00"))
+                else:
+                    marker = 0
+                if marker == PAGE_MARKER:
+                    present.append(index)
             return present
 
     def scrub(self, max_pages: int = SCRUB_PAGES_PER_PASS
@@ -527,7 +796,11 @@ class PmoStore:
     def _load_one(self, path: Path, journal_path: Path
                   ) -> Tuple["Pmo", int, int]:
         from repro.pmo.pmo import Pmo
-        raw_header = path.read_bytes()[:HEADER_SPAN]
+        # One read of the whole file; every page/trailer below is a
+        # memoryview slice of it, CRC'd in place — recovery is a
+        # single pass, not a seek/read pair per slot.
+        raw = path.read_bytes()
+        raw_header = raw[:HEADER_SPAN]
         if len(raw_header) < _HEADER.size:
             raise PmoError(f"{path.name}: truncated header")
         magic, version, pmo_id, mode, size_bytes, log_size, \
@@ -547,36 +820,60 @@ class PmoStore:
         repaired = 0
         storage = DurablePages(size_bytes)
         bad_pages: List[int] = []
-        with open(path, "r+b") as fh:
-            if journal:
-                # Double-write recovery: re-apply the whole committed
-                # batch.  Idempotent — pages already home verify and
-                # are rewritten identically; torn pages are healed.
-                for index, page in sorted(journal.items()):
-                    old_page, old_crc, old_marker = \
-                        self._read_slot(fh, index)
-                    if old_marker != PAGE_MARKER or \
-                            _page_crc(old_page) != old_crc or \
-                            old_page != page:
+        size = len(raw)
+        view = memoryview(raw)
+        crc32 = zlib.crc32
+        if journal:
+            # Double-write recovery: re-apply the whole committed
+            # batch.  Idempotent — pages already home verify and
+            # are rewritten identically; torn pages are healed.
+            parts: List[Tuple[int, bytes]] = sorted(journal.items())
+            with open(path, "r+b") as fh:
+                for index, page in parts:
+                    base = HEADER_SPAN + index * SLOT_SIZE
+                    tail = base + PAGE_SIZE
+                    old_ok = False
+                    if tail + TRAILER.size <= size:
+                        old_crc, old_marker = TRAILER.unpack_from(
+                            view, tail)
+                        old_page = view[base:tail]
+                        old_ok = old_marker == PAGE_MARKER and \
+                            crc32(old_page) & 0xFFFFFFFF == old_crc \
+                            and old_page == page
+                    if not old_ok:
                         repaired += 1
-                    fh.seek(HEADER_SPAN + index * SLOT_SIZE)
-                    fh.write(page)
-                    fh.write(TRAILER.pack(_page_crc(page),
-                                          PAGE_MARKER))
+                    fh.seek(base)
+                    fh.write(page + TRAILER.pack(_page_crc(page),
+                                                 PAGE_MARKER))
                 fh.flush()
                 if self.fsync:
                     os.fsync(fh.fileno())
-            size = path.stat().st_size
-            count = max(0, (size - HEADER_SPAN) + SLOT_SIZE - 1) \
-                // SLOT_SIZE
-            for index in range(count):
-                page, crc, marker = self._read_slot(fh, index)
-                if marker != PAGE_MARKER:
-                    continue
-                if _page_crc(page) != crc:
-                    bad_pages.append(index)
-                    continue
-                storage._pages[index] = bytearray(page)
+        count = max(0, (size - HEADER_SPAN) + SLOT_SIZE - 1) \
+            // SLOT_SIZE
+        if journal:
+            count = max(count, max(journal) + 1)
+        for index in range(count):
+            if journal is not None and index in journal:
+                # Just re-applied from the journal: home and valid
+                # by construction.
+                storage._pages[index] = bytearray(journal[index])
+                continue
+            base = HEADER_SPAN + index * SLOT_SIZE
+            tail = base + PAGE_SIZE
+            if tail + TRAILER.size <= size:
+                page_bytes: Any = view[base:tail]
+                crc, marker = TRAILER.unpack_from(view, tail)
+            else:
+                blob = bytes(view[base:base + SLOT_SIZE]).ljust(
+                    SLOT_SIZE, b"\x00")
+                page_bytes = blob[:PAGE_SIZE]
+                crc, marker = TRAILER.unpack_from(blob, PAGE_SIZE)
+            if marker != PAGE_MARKER:
+                continue
+            if crc32(page_bytes) & 0xFFFFFFFF != crc:
+                bad_pages.append(index)
+                continue
+            storage._pages[index] = bytearray(page_bytes)
         if journal:
             journal_path.unlink(missing_ok=True)
 

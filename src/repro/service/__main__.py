@@ -21,6 +21,7 @@ import json
 import signal
 import sys
 
+from repro.pmo.store import DEFAULT_COMMIT_INTERVAL_US
 from repro.service.server import (
     DEFAULT_SESSION_EW_NS, DEFAULT_SESSION_LINGER_NS,
     DEFAULT_SWEEP_PERIOD_NS, TerpService)
@@ -66,6 +67,17 @@ def build_parser() -> argparse.ArgumentParser:
                              "again on the same DIR after a crash and "
                              "data, sessions, and the exposure clock "
                              "all survive")
+    parser.add_argument("--commit-interval-us", type=int,
+                        default=DEFAULT_COMMIT_INTERVAL_US,
+                        help="group-commit window in us: how long the "
+                             "flusher thread waits for more psyncs to "
+                             "merge into one journal fsync; 0 commits "
+                             "each batch as soon as the flusher is "
+                             "free (default: %(default)s)")
+    parser.add_argument("--profile", metavar="PATH", default=None,
+                        help="run under cProfile and dump the stats "
+                             "file to PATH on shutdown (inspect with "
+                             "python -m pstats PATH)")
     parser.add_argument("--resume-linger-ms", type=float,
                         default=DEFAULT_SESSION_LINGER_NS / 1e6,
                         help="how long a dropped session's identity "
@@ -97,10 +109,16 @@ def make_service(args: argparse.Namespace) -> TerpService:
         seed=args.seed,
         obs_enabled=not args.no_obs,
         session_linger_ns=max(0, int(args.resume_linger_ms * 1e6)),
-        pool_dir=args.pool_dir)
+        pool_dir=args.pool_dir,
+        commit_interval_us=max(0, args.commit_interval_us))
 
 
 async def _amain(args: argparse.Namespace) -> int:
+    profiler = None
+    if args.profile:
+        import cProfile
+        profiler = cProfile.Profile()
+        profiler.enable()
     service = make_service(args)
     await service.start()
     if not args.quiet:
@@ -123,6 +141,12 @@ async def _amain(args: argparse.Namespace) -> int:
         await stop.wait()
     finally:
         await service.stop()
+        if profiler is not None:
+            profiler.disable()
+            profiler.dump_stats(args.profile)
+            if not args.quiet:
+                print(f"terpd profile written to {args.profile}",
+                      flush=True)
         if args.metrics_dump:
             dump = json.dumps(service.dump_observability(), indent=2,
                               default=str)

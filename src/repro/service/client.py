@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import asyncio
 import collections
+import os
 import socket
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
@@ -99,6 +100,13 @@ class _ClientCore:
         #: reconnects where resume failed and a fresh session was opened.
         self.sessions_lost = 0
         self._next_id = 0
+        #: the revision offered in ``hello``; ``TERP_PROTOCOL_VERSION=1``
+        #: in the environment forces the legacy JSON-only wire.
+        env = os.environ.get("TERP_PROTOCOL_VERSION")
+        self._want_version = int(env) if env else \
+            protocol.PROTOCOL_VERSION
+        #: the revision actually negotiated (v1 until hello says more).
+        self.protocol_version = protocol.PROTOCOL_V1
 
     def next_id(self) -> int:
         self._next_id += 1
@@ -130,6 +138,31 @@ class _ClientCore:
         self.entity_id = result["entity"]
         self.ew_budget_us = result["ew_budget_us"]
         self.resume_token = str(result.get("token", ""))
+        self.protocol_version = int(
+            result.get("version", protocol.PROTOCOL_V1))
+
+    def _prep_args(self, args: Dict[str, Any]
+                   ) -> Tuple[Dict[str, Any], List[bytes]]:
+        """Encode a request's binary payload for the negotiated wire.
+
+        ``bytes`` under ``"data"`` ride the v2 sidecar (returned as
+        chunks) or get base64'd for a v1 connection.  The caller's
+        dict is never mutated, so a retry after reconnect re-preps the
+        same request for whatever version the new connection speaks.
+        """
+        data = args.get("data")
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            return args, []
+        data = bytes(data)
+        if self.protocol_version >= 2:
+            return dict(args, data={"bin": len(data)}), [data]
+        return dict(args, data=protocol.encode_bytes(data)), []
+
+    def _version_rejected(self, exc: "RemoteError") -> bool:
+        """Did the server refuse our ``hello`` version offer?"""
+        return not isinstance(exc, ConnectionLost) and \
+            self._want_version > protocol.PROTOCOL_V1 and \
+            "version" in exc.remote_message
 
 
 class SyncTerpClient(_ClientCore):
@@ -159,8 +192,26 @@ class SyncTerpClient(_ClientCore):
 
     def connect(self) -> "SyncTerpClient":
         self._open_socket()
-        self.note_hello(self._raw_call("hello", self._hello_args()))
+        self.note_hello(self._hello(self._hello_args()))
         return self
+
+    def _hello(self, args: Dict[str, Any]) -> Any:
+        """Say hello, negotiating the protocol version.
+
+        A legacy (v1-only) server rejects the v2 offer outright with a
+        "version unsupported" error; the client downgrades its offer
+        and re-hellos, after which everything — including this whole
+        session's reads and writes — stays on the v1 JSON wire.
+        """
+        try:
+            return self._raw_call(
+                "hello", dict(args, version=self._want_version))
+        except RemoteError as exc:
+            if not self._version_rejected(exc):
+                raise
+            self._want_version = protocol.PROTOCOL_V1
+            return self._raw_call(
+                "hello", dict(args, version=protocol.PROTOCOL_V1))
 
     def close(self) -> None:
         self._drop_socket()
@@ -210,9 +261,9 @@ class SyncTerpClient(_ClientCore):
         args = self._hello_args()
         if self.session_id is not None and self.resume_token:
             try:
-                self.note_hello(self._raw_call(
-                    "hello", dict(args, resume=self.session_id,
-                                  token=self.resume_token)))
+                self.note_hello(self._hello(
+                    dict(args, resume=self.session_id,
+                         token=self.resume_token)))
                 self.resumes += 1
                 return
             except ConnectionLost:
@@ -223,7 +274,7 @@ class SyncTerpClient(_ClientCore):
                     raise SessionLost(
                         f"session {self.session_id} not resumable: "
                         f"{exc.remote_message}") from exc
-        self.note_hello(self._raw_call("hello", args))
+        self.note_hello(self._hello(args))
 
     def _try_reconnect(self) -> None:
         """Best-effort reconnect between retry attempts: a failure
@@ -237,11 +288,12 @@ class SyncTerpClient(_ClientCore):
 
     # -- request plumbing -------------------------------------------------
 
-    def _send(self, payload: Any) -> None:
+    def _send(self, payload: Any,
+              sidecar: Optional[bytes] = None) -> None:
         if self._sock is None:
             raise ConnectionLost("not connected")
         try:
-            protocol.send_frame(self._sock, payload)
+            protocol.send_frame(self._sock, payload, sidecar)
         except OSError as exc:
             self._drop_socket()
             raise ConnectionLost(f"send failed: {exc}") from exc
@@ -250,7 +302,7 @@ class SyncTerpClient(_ClientCore):
         if self._sock is None:
             raise ConnectionLost("not connected")
         try:
-            return protocol.recv_frame(self._sock)
+            got = protocol.recv_frame_ex(self._sock)
         except OSError as exc:
             self._drop_socket()
             raise ConnectionLost(f"recv failed: {exc}") from exc
@@ -259,6 +311,16 @@ class SyncTerpClient(_ClientCore):
             # connection failure, not a protocol dispute.
             self._drop_socket()
             raise ConnectionLost(str(exc)) from exc
+        if got is None:
+            return None
+        payload, sidecar = got
+        if sidecar:
+            try:
+                protocol.absorb_sidecar(payload, sidecar)
+            except WireError as exc:
+                self._drop_socket()
+                raise ConnectionLost(str(exc)) from exc
+        return payload
 
     def _raw_call(self, op: str, args: Dict[str, Any]) -> Any:
         """One round-trip with no retry/breaker involvement."""
@@ -282,7 +344,9 @@ class SyncTerpClient(_ClientCore):
         while True:
             self._check_breaker(op, readonly=op in READ_ONLY_OPS)
             try:
-                self._send(protocol.request(rid, op, args))
+                prepped, chunks = self._prep_args(args)
+                self._send(protocol.request(rid, op, prepped),
+                           b"".join(chunks) if chunks else None)
                 result = self.take_result(self._recv(), rid)
             except ConnectionLost:
                 self._drop_socket()
@@ -332,7 +396,9 @@ class SyncTerpClient(_ClientCore):
                                 readonly=readonly)
             try:
                 for rid, op, args in pending[len(results):]:
-                    self._send(protocol.request(rid, op, args))
+                    prepped, chunks = self._prep_args(args)
+                    self._send(protocol.request(rid, op, prepped),
+                               b"".join(chunks) if chunks else None)
                 while len(results) < len(pending):
                     rid = pending[len(results)][0]
                     results.append(self.take_result(self._recv(), rid))
@@ -351,20 +417,29 @@ class SyncTerpClient(_ClientCore):
                 self._try_reconnect()
 
     def batch(self, requests: List[Tuple[str, Dict]]) -> List[Any]:
-        """Pack many requests into one frame (one syscall each way)."""
-        packed = []
-        rids = []
-        for op, args in requests:
-            rid = self.next_id()
-            rids.append(rid)
-            packed.append(protocol.request(rid, op, args))
+        """Pack many requests into one frame (one syscall each way).
+
+        On a v2 connection the items' binary payloads travel as one
+        combined sidecar, concatenated in item order.  The frame is
+        re-packed per attempt: a reconnect may have renegotiated the
+        protocol version.
+        """
+        items = [(self.next_id(), op, args) for op, args in requests]
+        rids = [rid for rid, _, _ in items]
         readonly = all(op in READ_ONLY_OPS for op, _ in requests)
         attempt = 0
         while True:
             self._check_breaker(requests[0][0] if requests else "ping",
                                 readonly=readonly)
             try:
-                self._send(packed)
+                packed = []
+                chunks: List[bytes] = []
+                for rid, op, args in items:
+                    prepped, ch = self._prep_args(args)
+                    chunks.extend(ch)
+                    packed.append(protocol.request(rid, op, prepped))
+                self._send(packed,
+                           b"".join(chunks) if chunks else None)
                 responses = self._recv()
                 if responses is None:
                     raise ConnectionLost(
@@ -416,12 +491,13 @@ class SyncTerpClient(_ClientCore):
         self.call("pfree", oid=oid.pack())
 
     def read(self, oid: Oid, n: int) -> bytes:
-        return protocol.decode_bytes(
-            self.call("read", oid=oid.pack(), n=n)["data"])
+        data = self.call("read", oid=oid.pack(), n=n)["data"]
+        return data if isinstance(data, bytes) else \
+            protocol.decode_bytes(data)
 
     def write(self, oid: Oid, data: bytes) -> int:
         return self.call("write", oid=oid.pack(),
-                         data=protocol.encode_bytes(data))["n"]
+                         data=bytes(data))["n"]
 
     def read_u64(self, oid: Oid) -> int:
         return self.call("read_u64", oid=oid.pack())["value"]
@@ -499,10 +575,23 @@ class TerpClient(_ClientCore):
 
     async def connect(self) -> "TerpClient":
         await self._open_transport()
-        result = await (await self._submit(
-            self.next_id(), "hello", self._hello_args()))
-        self.note_hello(result)
+        self.note_hello(await self._hello(self._hello_args()))
         return self
+
+    async def _hello(self, args: Dict[str, Any]) -> Any:
+        """``hello`` with version negotiation + v1 fallback (see
+        :meth:`SyncTerpClient._hello`)."""
+        try:
+            return await (await self._submit(
+                self.next_id(), "hello",
+                dict(args, version=self._want_version)))
+        except RemoteError as exc:
+            if not self._version_rejected(exc):
+                raise
+            self._want_version = protocol.PROTOCOL_V1
+            return await (await self._submit(
+                self.next_id(), "hello",
+                dict(args, version=protocol.PROTOCOL_V1)))
 
     async def _open_transport(self) -> None:
         if self._unix is not None:
@@ -536,10 +625,9 @@ class TerpClient(_ClientCore):
         args = self._hello_args()
         if self.session_id is not None and self.resume_token:
             try:
-                result = await (await self._submit(
-                    self.next_id(), "hello",
+                result = await self._hello(
                     dict(args, resume=self.session_id,
-                         token=self.resume_token)))
+                         token=self.resume_token))
                 self.note_hello(result)
                 self.resumes += 1
                 return
@@ -551,9 +639,7 @@ class TerpClient(_ClientCore):
                     raise SessionLost(
                         f"session {self.session_id} not resumable: "
                         f"{exc.remote_message}") from exc
-        result = await (await self._submit(self.next_id(), "hello",
-                                           args))
-        self.note_hello(result)
+        self.note_hello(await self._hello(args))
 
     async def __aenter__(self) -> "TerpClient":
         return await self.connect()
@@ -565,9 +651,12 @@ class TerpClient(_ClientCore):
         """Match response frames to pending futures, FIFO."""
         try:
             while True:
-                response = await protocol.read_frame(self._reader)
-                if response is None:
+                got = await protocol.read_frame_ex(self._reader)
+                if got is None:
                     raise ConnectionLost("server closed the connection")
+                response, sidecar = got
+                if sidecar:
+                    protocol.absorb_sidecar(response, sidecar)
                 if not self._pending:
                     raise WireError("unsolicited response frame")
                 rid, future = self._pending.popleft()
@@ -596,9 +685,11 @@ class TerpClient(_ClientCore):
             raise ConnectionLost("not connected")
         future = asyncio.get_running_loop().create_future()
         self._pending.append((rid, future))
+        prepped, chunks = self._prep_args(args)
         try:
-            await protocol.write_frame(self._writer,
-                                       protocol.request(rid, op, args))
+            await protocol.write_frame(
+                self._writer, protocol.request(rid, op, prepped),
+                b"".join(chunks) if chunks else None)
         except (ConnectionResetError, BrokenPipeError, OSError) as exc:
             raise ConnectionLost(f"send failed: {exc}") from exc
         return future
@@ -671,12 +762,13 @@ class TerpClient(_ClientCore):
         await self.call("pfree", oid=oid.pack())
 
     async def read(self, oid: Oid, n: int) -> bytes:
-        result = await self.call("read", oid=oid.pack(), n=n)
-        return protocol.decode_bytes(result["data"])
+        data = (await self.call("read", oid=oid.pack(), n=n))["data"]
+        return data if isinstance(data, bytes) else \
+            protocol.decode_bytes(data)
 
     async def write(self, oid: Oid, data: bytes) -> int:
         result = await self.call("write", oid=oid.pack(),
-                                 data=protocol.encode_bytes(data))
+                                 data=bytes(data))
         return result["n"]
 
     async def psync(self, name: str) -> int:

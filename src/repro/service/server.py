@@ -28,6 +28,7 @@ runtime are real wall-clock durations.
 from __future__ import annotations
 
 import asyncio
+import json
 import threading
 import time
 from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
@@ -43,11 +44,14 @@ from repro.obs.tracing import NULL_SPAN
 from repro.pmo.api import PmoLibrary
 from repro.pmo.object_id import Oid
 from repro.pmo.pool import mode_allows
-from repro.pmo.store import SCRUB_PAGES_PER_PASS, PmoStore
+from repro.pmo.store import (
+    DEFAULT_COMMIT_INTERVAL_US, SCRUB_PAGES_PER_PASS, CommitTicket,
+    PmoStore)
 from repro.service import protocol
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
-    PROTOCOL_VERSION, WireError, error_response, ok_response)
+    PROTOCOL_V1, PROTOCOL_VERSION, WireError, error_response,
+    ok_response)
 from repro.service.recovery import (
     RecoveryManager, RecoveryReport, SessionJournal)
 from repro.service.sessions import Session, SessionRegistry
@@ -65,7 +69,8 @@ DEFAULT_SESSION_LINGER_NS = 2_000_000_000
 class _Conn:
     """Per-connection state: the bound session, once hello'd."""
 
-    __slots__ = ("session", "peer", "generation")
+    __slots__ = ("session", "peer", "generation", "version", "bins",
+                 "bin_out")
 
     def __init__(self, peer: str) -> None:
         self.session: Optional[Session] = None
@@ -73,6 +78,28 @@ class _Conn:
         #: the session's bind generation this connection owns; teardown
         #: only unbinds if no newer connection has resumed the session.
         self.generation = 0
+        #: negotiated protocol revision; v1 until hello says otherwise.
+        self.version = PROTOCOL_V1
+        #: the current request frame's sidecar cursor (v2 requests
+        #: consume their binary chunks from it, in frame order).
+        self.bins = protocol.BinReader(b"")
+        #: binary chunks produced by the current frame's responses;
+        #: joined into the response frame's sidecar.
+        self.bin_out: List[bytes] = []
+
+
+class _PendingFlush:
+    """A psync whose fsyncs ride the group committer: the handler
+    returns this marker under the library lock; the dispatcher awaits
+    the ticket *off* the event loop (``run_in_executor``) after the
+    lock is released, so other sessions keep being served while the
+    flusher thread pays the fsyncs."""
+
+    __slots__ = ("base", "ticket")
+
+    def __init__(self, base: int, ticket: CommitTicket) -> None:
+        self.base = base
+        self.ticket = ticket
 
 
 class TerpService:
@@ -92,8 +119,9 @@ class TerpService:
                  max_sessions: Optional[int] = None,
                  session_linger_ns: int = DEFAULT_SESSION_LINGER_NS,
                  pool_dir: Optional[str] = None,
-                 scrub_pages_per_sweep: int = SCRUB_PAGES_PER_PASS) \
-            -> None:
+                 scrub_pages_per_sweep: int = SCRUB_PAGES_PER_PASS,
+                 commit_interval_us: int = DEFAULT_COMMIT_INTERVAL_US,
+                 protocol_version: int = PROTOCOL_VERSION) -> None:
         if port is None and unix_path is None:
             raise TerpError("need a TCP port and/or a unix socket path")
         self.host = host
@@ -135,8 +163,12 @@ class TerpService:
         self.session_journal: Optional[SessionJournal] = None
         self.recovery_report: Optional[RecoveryReport] = None
         self._epoch_wall_ns: Optional[int] = None
+        #: highest wire protocol revision this server speaks; capped
+        #: at 1 to emulate a legacy (pre-sidecar) daemon in tests.
+        self.protocol_version = protocol_version
         if pool_dir is not None:
-            self.store = PmoStore(pool_dir, faults=faults)
+            self.store = PmoStore(pool_dir, faults=faults,
+                                  commit_interval_us=commit_interval_us)
         self.lib = PmoLibrary(semantics=engine, seed=seed, strict=True,
                               obs=self.obs, faults=faults,
                               store=self.store)
@@ -285,6 +317,10 @@ class TerpService:
                 self._journal_close(session, now)
                 self.registry.remove(session.session_id)
             self.lib.runtime.finish(self.lib.clock_ns)
+        if self.store is not None:
+            # Drain the group committer: every submitted psync batch
+            # reaches disk before the journal handle goes away.
+            self.store.close()
         if self.session_journal is not None:
             self.session_journal.close()
         for writer in list(self._writers):
@@ -313,6 +349,12 @@ class TerpService:
             transport = writer.transport
             if transport is not None:
                 transport.abort()
+        if self.store is not None:
+            # The flusher thread dies with the process: queued commit
+            # batches are dropped (their psyncs never answered, so
+            # nothing was promised) and the thread is joined so it
+            # cannot race a restarted service's recovery scan.
+            self.store.abort_commits()
         if self.session_journal is not None:
             # Only drops the file handle; appended records stay.
             self.session_journal.close()
@@ -490,11 +532,13 @@ class TerpService:
         conn = _Conn(str(peer))
         self._writers.add(writer)
         faults = self.faults
+        transport = writer.transport
         try:
             while True:
-                payload = await protocol.read_frame(reader)
-                if payload is None:
+                got = await protocol.read_frame_ex(reader)
+                if got is None:
                     break
+                payload, sidecar = got
                 if faults is not None and \
                         faults.fire("server.conn_drop") is not None:
                     # The connection dies before the request runs: the
@@ -507,19 +551,28 @@ class TerpService:
                     # for good (no resume), connection severed.
                     self._crash_session(conn)
                     break
+                conn.bins = protocol.BinReader(sidecar)
+                conn.bin_out = []
                 try:
                     if isinstance(payload, list):
                         self.metrics.note_batch()
-                        response: Any = [self._dispatch(conn, one)
-                                         for one in payload]
+                        # Each response is encoded exactly once, here;
+                        # encode_body splices the pre-encoded parts.
+                        parts: List[bytes] = []
+                        for one in payload:
+                            parts.append(await self._dispatch(conn, one))
+                        body = protocol.encode_body(parts)
                     else:
-                        response = self._dispatch(conn, payload)
+                        body = await self._dispatch(conn, payload)
                 except InjectedCrash:
                     # A crash-kind storage fault mid-request: no
                     # response ever leaves; the crash-torture harness
                     # snapshots the persistent bytes at this instant.
                     self._crash_session(conn)
                     break
+                out = conn.bin_out
+                frame = protocol.frame_from_body(
+                    body, b"".join(out) if out else None)
                 if faults is not None:
                     rule = faults.fire("server.delay_response")
                     if rule is not None and rule.delay_ns > 0:
@@ -529,11 +582,17 @@ class TerpService:
                         # The request executed; only a truncated frame
                         # escapes.  The retried request hits the
                         # replay cache, not a second execution.
-                        frame = protocol.encode_frame(response)
                         writer.write(frame[:max(1, len(frame) // 2)])
                         await writer.drain()
                         break
-                await protocol.write_frame(writer, response)
+                # Write-coalescing: queue the frame and only pay a
+                # drain once the transport buffer backs up, so a
+                # pipelined burst of responses leaves in a few
+                # syscalls instead of one flush per response.
+                writer.write(frame)
+                if transport is None or \
+                        transport.get_write_buffer_size() > 65536:
+                    await writer.drain()
         except (WireError, ConnectionResetError, BrokenPipeError):
             pass
         finally:
@@ -576,11 +635,20 @@ class TerpService:
 
     # -- dispatch --------------------------------------------------------------
 
-    def _dispatch(self, conn: _Conn, req: Any) -> Dict:
+    async def _dispatch(self, conn: _Conn, req: Any) -> bytes:
+        """Run one request; returns the *encoded* response body bytes.
+
+        Encoding here (rather than in the serve loop) lets the replay
+        cache hold pre-encoded bytes and lets a batch splice its parts
+        without a second ``json.dumps`` pass.  Binary results land on
+        ``conn.bin_out``; an error rolls the chunk list back to this
+        request's start so a failed op never leaks sidecar bytes.
+        """
         t0 = time.perf_counter_ns()
         rid = req.get("id") if isinstance(req, dict) else None
         op = req.get("op") if isinstance(req, dict) else None
         session = conn.session
+        bin_start = len(conn.bin_out)
         if session is not None and isinstance(rid, int):
             # Idempotent replay: a request the server already executed
             # (the drop ate the response) returns its original
@@ -588,7 +656,7 @@ class TerpService:
             cached = session.replay_get(rid)
             if cached is not None:
                 self.metrics.note_replay_served()
-                return cached
+                return self._replay_bytes(conn, cached)
         try:
             if not isinstance(req, dict) or not isinstance(op, str):
                 raise WireError("request must be an object with an 'op'")
@@ -604,25 +672,42 @@ class TerpService:
             with self.lib.lock:
                 self.lib.advance_to(self.now_ns())
                 result = handler(conn, args)
+            if isinstance(result, _PendingFlush):
+                # Group commit's executor boundary: the library lock is
+                # already released; the ticket wait (the fsyncs) runs
+                # on a worker thread so the event loop keeps serving
+                # other connections while the flusher batches.
+                flushed = result.base
+                if result.ticket.done:
+                    flushed += result.ticket.wait(0)
+                else:
+                    loop = asyncio.get_running_loop()
+                    flushed += await loop.run_in_executor(
+                        None, result.ticket.wait)
+                result = {"flushed": flushed}
             session = conn.session     # hello may have bound one
             events = session.drain_events() if session else None
             response = ok_response(rid, result, events)
             ok = True
+            body = protocol.encode_body(response)
             if session is not None and isinstance(rid, int):
                 # Only successes are cached: a retried failure must
                 # re-execute, or a transient error would replay as a
                 # permanent one.
-                session.replay_put(rid, response)
+                session.replay_put(rid, body,
+                                   tuple(conn.bin_out[bin_start:]))
         except InjectedCrash:
             raise                      # the "process" dies mid-request
         except (TerpError, WireError) as exc:
+            del conn.bin_out[bin_start:]
             events = session.drain_events() if session else None
-            response = error_response(rid, type(exc).__name__, str(exc),
-                                      events)
+            body = protocol.encode_body(error_response(
+                rid, type(exc).__name__, str(exc), events))
             ok = False
         except (KeyError, TypeError, ValueError) as exc:
-            response = error_response(rid, "BadRequest",
-                                      f"malformed arguments: {exc!r}")
+            del conn.bin_out[bin_start:]
+            body = protocol.encode_body(error_response(
+                rid, "BadRequest", f"malformed arguments: {exc!r}"))
             ok = False
         latency = time.perf_counter_ns() - t0
         op_name = op if isinstance(op, str) else "?"
@@ -634,17 +719,41 @@ class TerpService:
             session.metrics.requests += 1
             if not ok:
                 session.metrics.errors += 1
-        return response
+        return body
+
+    def _replay_bytes(self, conn: _Conn, cached: tuple) -> bytes:
+        """Re-emit a cached response on this connection's protocol."""
+        body, chunks = cached
+        if not chunks:
+            return body
+        if conn.version >= 2:
+            conn.bin_out.extend(chunks)
+            return body
+        # A v1 connection (e.g. a downgraded resume) replaying a
+        # response first served over v2: fold the sidecar chunks back
+        # into base64 text.
+        response = json.loads(body)
+        result = response.get("result")
+        if isinstance(result, dict) and "bin" in result:
+            result.pop("bin")
+            result["data"] = protocol.encode_bytes(b"".join(chunks))
+        return protocol.encode_body(response)
 
     # -- ops: session ----------------------------------------------------------
 
     def _op_hello(self, conn: _Conn, args: Dict) -> Dict:
         if conn.session is not None:
             raise TerpError("connection already has a session")
-        version = int(args.get("version", PROTOCOL_VERSION))
-        if version != PROTOCOL_VERSION:
+        # Version negotiation: a client that omits ``version`` is v1;
+        # otherwise the connection speaks ``min(client, server)``.  A
+        # v1-capped server keeps the legacy strict rejection, which is
+        # what a v2 client's fallback path keys on.
+        version = int(args.get("version", PROTOCOL_V1))
+        if version < PROTOCOL_V1 or (self.protocol_version <= PROTOCOL_V1
+                                     and version != PROTOCOL_V1):
             raise TerpError(f"protocol version {version} unsupported; "
-                            f"server speaks {PROTOCOL_VERSION}")
+                            f"server speaks {self.protocol_version}")
+        negotiated = min(version, self.protocol_version)
         resume = args.get("resume")
         if resume is not None:
             session = self._resume_session(int(resume),
@@ -666,11 +775,12 @@ class TerpService:
             self._journal_session(session, self.lib.clock_ns)
         conn.generation = session.bind()
         conn.session = session
+        conn.version = negotiated
         self.metrics.note_session_opened()
         self._sessions_gauge.set(len(self.registry))
         return {"session": session.session_id,
                 "entity": session.entity_id,
-                "version": PROTOCOL_VERSION,
+                "version": negotiated,
                 "ew_budget_us": session.ew_budget_ns / 1_000,
                 "token": session.resume_token,
                 "resumed": resume is not None}
@@ -883,11 +993,19 @@ class TerpService:
         with self.lib.thread(session.entity_id):
             data = self.lib.read(Oid.unpack(int(args["oid"])), n)
         session.metrics.bytes_read += len(data)
+        if conn.version >= 2:
+            conn.bin_out.append(data)
+            return {"bin": len(data)}
         return {"data": protocol.encode_bytes(data)}
 
     def _op_write(self, conn: _Conn, args: Dict) -> Dict:
         session = conn.session
-        data = protocol.decode_bytes(str(args["data"]))
+        raw = args["data"]
+        if isinstance(raw, dict):
+            # v2 binary marker: the payload rode the frame's sidecar.
+            data = conn.bins.take(int(raw["bin"]))
+        else:
+            data = protocol.decode_bytes(str(raw))
         with self.lib.thread(session.entity_id):
             self.lib.write(Oid.unpack(int(args["oid"])), data)
         session.metrics.bytes_written += len(data)
@@ -906,9 +1024,12 @@ class TerpService:
         conn.session.metrics.bytes_written += 8
         return {"written": True}
 
-    def _op_psync(self, conn: _Conn, args: Dict) -> Dict:
+    def _op_psync(self, conn: _Conn, args: Dict) -> Any:
         pmo = self.lib.manager.lookup(str(args["name"]))
-        return {"flushed": self.lib.psync(pmo)}
+        base, ticket = self.lib.psync_submit(pmo)
+        if ticket is None:
+            return {"flushed": base}
+        return _PendingFlush(base, ticket)
 
     def _op_tx_begin(self, conn: _Conn, args: Dict) -> Dict:
         pmo = self.lib.manager.lookup(str(args["name"]))

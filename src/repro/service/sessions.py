@@ -78,8 +78,11 @@ class Session:
     #: bumped on every (re)bind; a connection only tears the session
     #: down if it still owns the latest bind.
     generation: int = 0
-    #: request id -> successful response, for idempotent replay.
-    replay: "OrderedDict[int, dict]" = field(
+    #: request id -> (encoded response body, binary sidecar chunks),
+    #: for idempotent replay.  Caching the pre-encoded bytes means a
+    #: replay hit costs zero ``json.dumps`` work, and the chunks let a
+    #: v2 read response replay with its sidecar intact.
+    replay: "OrderedDict[int, tuple]" = field(
         default_factory=OrderedDict)
     replays_served: int = 0
 
@@ -146,16 +149,17 @@ class Session:
 
     # -- idempotent replay -------------------------------------------------
 
-    def replay_put(self, rid: int, response: dict) -> None:
-        self.replay[rid] = response
+    def replay_put(self, rid: int, body: bytes,
+                   chunks: tuple = ()) -> None:
+        self.replay[rid] = (body, chunks)
         while len(self.replay) > REPLAY_CACHE_SIZE:
             self.replay.popitem(last=False)
 
-    def replay_get(self, rid: int) -> Optional[dict]:
-        response = self.replay.get(rid)
-        if response is not None:
+    def replay_get(self, rid: int) -> Optional[tuple]:
+        cached = self.replay.get(rid)
+        if cached is not None:
             self.replays_served += 1
-        return response
+        return cached
 
 
 class SessionRegistry:

@@ -349,3 +349,72 @@ class TestTransactionalPsync:
             lib2.attach(report.loaded[0])
             assert lib2.read(oid, 64) == b"I" * 64
             lib2.detach(report.loaded[0])
+
+
+class TestGroupCommit:
+    def test_zero_dirty_psync_never_touches_the_store(self, tmp_path):
+        store, lib = make(tmp_path)
+        pmo, _ = populate(lib, "zero")
+        path = store.path_for("zero")
+        before = (path.stat().st_mtime_ns,
+                  store.committer.submitted)
+        with lib.thread(1):
+            lib.attach(pmo)
+            # Nothing dirty: the fast path returns without a journal
+            # round-trip, a file write, or a committer submission.
+            assert lib.psync(pmo) == 0
+            lib.detach(pmo)
+        assert (path.stat().st_mtime_ns,
+                store.committer.submitted) == before
+        assert not store.journal_path_for("zero").exists()
+
+    def test_concurrent_psyncs_share_one_commit_batch(self, tmp_path):
+        # A wide commit window: the first snapshot's leader waits for
+        # the second before paying the fsyncs, so both psyncs retire
+        # from a single merged batch (one journal write per PMO).
+        store = PmoStore(tmp_path, commit_interval_us=200_000)
+        lib = PmoLibrary(store=store)
+        pmo = lib.PMO_create("merge", MIB)
+        with lib.thread(1):
+            lib.attach(pmo)
+            oid = lib.pmalloc(pmo, 2 * PAGE_SIZE)
+            lib.write(oid, b"A" * PAGE_SIZE)
+            first = store.flush_async(pmo)
+            pmo.storage.write(oid.offset, b"B" * PAGE_SIZE)
+            second = store.flush_async(pmo)
+            assert first.wait() >= 1
+            assert second.wait() >= 1
+            lib.detach(pmo)
+        assert store.committer.submitted == 2
+        assert store.committer.batches == 1
+        # The later snapshot supersedes within the merged batch.
+        fresh = PmoStore(tmp_path)
+        report = fresh.load_all()
+        lib2 = PmoLibrary(store=fresh)
+        lib2.manager.adopt(report.loaded[0])
+        with lib2.thread(1):
+            lib2.attach(report.loaded[0])
+            assert lib2.read(oid, PAGE_SIZE) == b"B" * PAGE_SIZE
+            lib2.detach(report.loaded[0])
+
+    def test_sync_flush_routes_through_the_committer(self, tmp_path):
+        store, lib = make(tmp_path)
+        populate(lib, "route")
+        assert store.committer.submitted >= 1
+        assert store.committer.batches >= 1
+
+    def test_closed_committer_fails_flushes_typed(self, tmp_path):
+        store, lib = make(tmp_path)
+        pmo, oid = populate(lib, "closed")
+        store.close()
+        pmo.storage.write(oid.offset, b"late")
+        with pytest.raises(PmoError, match="stopped"):
+            store.flush(pmo)
+
+    def test_abort_fails_flushes_like_a_crash(self, tmp_path):
+        store, lib = make(tmp_path)
+        pmo, oid = populate(lib, "dead")
+        store.abort_commits()
+        pmo.storage.write(oid.offset, b"lost")
+        with pytest.raises(PmoError):
+            store.flush(pmo)

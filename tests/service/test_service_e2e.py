@@ -98,8 +98,10 @@ class TestConcurrentSessions:
                                               "n": 8}),
                                     ("ping", {}),
                                     ("psync", {"name": "pipe"})])
-            assert protocol.decode_bytes(batched[0]["data"]) == \
-                bytes([15]) * 8
+            data = batched[0]["data"]
+            if not isinstance(data, bytes):   # a v1 wire base64s it
+                data = protocol.decode_bytes(data)
+            assert data == bytes([15]) * 8
             assert "now_ns" in batched[1]
             client.detach("pipe")
 
