@@ -19,6 +19,13 @@ SPEC_ITERS = 4_000
 FIG8_OBJECTS = 1_000
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--cluster", default="4", metavar="N",
+        help="shard count for the cluster throughput bench "
+             "(default: %(default)s)")
+
+
 def run_once(benchmark, fn, *args, **kwargs):
     """Run ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs,

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Cluster smoke for CI: router + 2 shards, kill one, check I1-I6.
+
+Wraps :func:`repro.faults.cluster_chaos.run_cluster_chaos` with the
+seed CI pins (42): four workers drive PMOs spread across both shards
+through the router, shard 0 is ``SIGKILL``-ed mid-traffic and warm-
+restarted by the supervisor on the same port, and the run passes iff
+
+  1. every request either succeeded or failed with a *typed* error
+     (``ConnectionLost`` retry, ``RemoteError``) — nothing unexpected,
+  2. the exposure invariants I1-I6 hold on each shard's own audit
+     timeline (the victim's with its restart downtime allowance),
+  3. they hold again on the merged global timeline,
+  4. the victim's forced detaches are outage/restart-attributed and
+     the survivor shard saw neither a restart nor outage fallout.
+
+Exit status 0 iff all four hold.  Usage::
+
+    PYTHONPATH=src python scripts/cluster_smoke.py [--seed N] [--out F]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.faults.cluster_chaos import run_cluster_chaos  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument("--out", default=None,
+                        help="write the JSON verdict here as well")
+    args = parser.parse_args()
+
+    result = run_cluster_chaos(
+        args.seed, shards=args.shards, workers=args.workers,
+        rounds=args.rounds)
+    print(result.describe())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, indent=2)
+            fh.write("\n")
+        print(f"verdict written to {args.out}")
+    print(f"\ncluster smoke: {'OK' if result.ok else 'FAIL'}")
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,226 @@
+"""Cross-shard metric merging for the router's ``metrics`` op.
+
+Each shard answers ``metrics`` with its own counters and latency
+summaries; the router must present ONE coherent report to a client
+that neither knows nor cares that N processes served it.  Counters
+add.  Latency percentiles do not — the mean of two p99s is not the
+p99 of the union — so the router asks shards for their raw histogram
+buckets (``metrics {raw: true}``) and recomputes the percentiles from
+the merged cumulative bucket counts, which is exact up to bucket
+resolution.  When a shard predates the ``raw`` extension the merge
+falls back to count-weighted summary percentiles, which is the best
+available lie and flagged as such here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+#: The wire names of the two latency histograms a shard registers.
+REQUEST_HIST = "terpd_request_latency_ns"
+SWEEP_HIST = "terpd_sweep_latency_ns"
+
+
+def sum_tree(trees: List[Any]) -> Any:
+    """Merge parallel JSON trees: numbers add, dicts merge by key,
+    anything else keeps the first non-None value."""
+    trees = [t for t in trees if t is not None]
+    if not trees:
+        return None
+    first = trees[0]
+    if isinstance(first, bool):
+        return first
+    if isinstance(first, (int, float)):
+        return sum(t for t in trees if isinstance(t, (int, float)))
+    if isinstance(first, dict):
+        keys: List[str] = []
+        for tree in trees:
+            if isinstance(tree, dict):
+                for key in tree:
+                    if key not in keys:
+                        keys.append(key)
+        return {key: sum_tree([t.get(key) for t in trees
+                               if isinstance(t, dict)])
+                for key in keys}
+    return first
+
+
+def _merged_cumulative(hists: List[Dict[str, Any]]) -> List[tuple]:
+    """Per-shard cumulative buckets -> one merged cumulative list.
+
+    Bounds may differ only in which tail buckets exist; they are
+    unioned numerically with ``+Inf`` always last.
+    """
+    per_bucket: Dict[Optional[float], int] = {}
+    for hist in hists:
+        buckets = hist.get("buckets") or {}
+        previous = 0
+        # A dict from JSON preserves insertion order: ascending
+        # bounds then +Inf, so cumulative -> per-bucket is one pass.
+        for le, cumulative in buckets.items():
+            bound = None if le == "+Inf" else float(le)
+            per_bucket[bound] = per_bucket.get(bound, 0) + \
+                int(cumulative) - previous
+            previous = int(cumulative)
+    bounds = sorted(b for b in per_bucket if b is not None)
+    out = []
+    running = 0
+    for bound in bounds:
+        running += per_bucket[bound]
+        out.append((bound, running))
+    running += per_bucket.get(None, 0)
+    out.append((None, running))
+    return out
+
+
+def merge_histograms(hists: List[Dict[str, Any]]) -> Dict[str, float]:
+    """Registry histogram dicts -> one wire latency summary (us).
+
+    Percentiles come from the merged cumulative buckets: the value
+    reported for p is the upper bound of the first bucket whose
+    cumulative count reaches p% of the merged population (the +Inf
+    bucket reports the merged max).  Mean is exact (sum of totals over
+    sum of counts); max is exact.
+    """
+    hists = [h for h in hists if h]
+    count = sum(int(h.get("count", 0)) for h in hists)
+    total = sum(int(h.get("total", 0)) for h in hists)
+    max_value = max((int(h.get("max", 0)) for h in hists), default=0)
+    if count == 0:
+        return {"count": 0, "mean_us": 0.0, "p50_us": 0.0,
+                "p99_us": 0.0, "max_us": 0.0}
+    cumulative = _merged_cumulative(hists)
+
+    def percentile(p: float) -> float:
+        need = p / 100.0 * count
+        for bound, running in cumulative:
+            if running >= need:
+                return max_value if bound is None else bound
+        return max_value
+
+    return {
+        "count": count,
+        "mean_us": total / count / 1e3,
+        "p50_us": percentile(50) / 1e3,
+        "p99_us": percentile(99) / 1e3,
+        "max_us": max_value / 1e3,
+    }
+
+
+def merge_latency_summaries(summaries: List[Dict[str, Any]]
+                            ) -> Dict[str, float]:
+    """Fallback merge of wire latency summaries (no buckets):
+    count-weighted mean and percentiles, exact count and max."""
+    summaries = [s for s in summaries if s]
+    count = sum(int(s.get("count", 0)) for s in summaries)
+    if count == 0:
+        return {"count": 0, "mean_us": 0.0, "p50_us": 0.0,
+                "p99_us": 0.0, "max_us": 0.0}
+
+    def weighted(key: str) -> float:
+        return sum(float(s.get(key, 0.0)) * int(s.get("count", 0))
+                   for s in summaries) / count
+
+    return {
+        "count": count,
+        "mean_us": weighted("mean_us"),
+        "p50_us": weighted("p50_us"),
+        "p99_us": weighted("p99_us"),
+        "max_us": max(float(s.get("max_us", 0.0)) for s in summaries),
+    }
+
+
+def _merge_audit(summaries: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Audit summaries add, except the held-time stats: the mean is
+    window-count weighted and the max is the max."""
+    summaries = [s for s in summaries if s]
+    if not summaries:
+        return {}
+    merged = sum_tree(summaries)
+    windows = sum(int(s.get("windows", 0)) for s in summaries)
+    if windows:
+        merged["held_mean_ns"] = sum(
+            float(s.get("held_mean_ns", 0.0)) *
+            int(s.get("windows", 0)) for s in summaries) / windows
+    else:
+        merged["held_mean_ns"] = 0.0
+    merged["held_max_ns"] = max(
+        int(s.get("held_max_ns", 0)) for s in summaries)
+    return merged
+
+
+def _latency(reports: List[Dict[str, Any]], wire_key: str,
+             hist_name: str) -> Dict[str, float]:
+    hists = []
+    for report in reports:
+        registry = report.get("registry") or {}
+        hist = (registry.get("histograms") or {}).get(hist_name)
+        if hist is None:
+            # At least one shard answered without raw buckets:
+            # degrade the whole merge to weighted summaries rather
+            # than mixing exact and approximate populations.
+            return merge_latency_summaries(
+                [(r.get("global") or {}).get(wire_key) or {}
+                 for r in reports])
+        hists.append(hist)
+    return merge_histograms(hists)
+
+
+def aggregate_metrics(reports: List[Dict[str, Any]], *,
+                      sessions: int) -> Dict[str, Any]:
+    """Per-shard ``metrics`` responses -> one cluster-wide report.
+
+    ``sessions`` is the router's own count (the client-facing truth:
+    shard-side sessions are an implementation detail — one client
+    session fans out to up to N upstream ones).
+    """
+    reports = [r for r in reports if r]
+    merged_global = sum_tree([r.get("global") for r in reports]) or {}
+    merged_global["request_latency"] = _latency(
+        reports, "request_latency", REQUEST_HIST)
+    merged_global["sweep_latency"] = _latency(
+        reports, "sweep_latency", SWEEP_HIST)
+    out: Dict[str, Any] = {
+        "global": merged_global,
+        "sessions": sessions,
+        "runtime": sum_tree([r.get("runtime") for r in reports]) or {},
+        "arch_cases": sum_tree([r.get("arch_cases")
+                                for r in reports]) or {},
+        "audit": _merge_audit([r.get("audit") or {} for r in reports]),
+        "trace": sum_tree([r.get("trace") for r in reports]) or {},
+        "cluster": {
+            "shards": len(reports),
+            "per_shard_requests": {
+                str(r.get("shard", i)):
+                    (r.get("global") or {}).get("requests", 0)
+                for i, r in enumerate(reports)},
+        },
+    }
+    recoveries = [r.get("recovery") for r in reports
+                  if r.get("recovery")]
+    if recoveries:
+        out["recovery"] = sum_tree(recoveries)
+    session_parts = [r.get("session") for r in reports
+                     if r.get("session")]
+    if session_parts:
+        out["session"] = sum_tree(session_parts)
+    return out
+
+
+def label_prometheus(text: str, shard: int) -> str:
+    """Inject a ``shard`` label into every sample of one shard's
+    Prometheus exposition, so concatenated shard dumps stay distinct
+    series."""
+    out = []
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            out.append(line)
+            continue
+        name_and_labels, _, value = line.rpartition(" ")
+        if "{" in name_and_labels:
+            head, _, tail = name_and_labels.partition("{")
+            sample = f'{head}{{shard="{shard}",{tail} {value}'
+        else:
+            sample = f'{name_and_labels}{{shard="{shard}"}} {value}'
+        out.append(sample)
+    return "\n".join(out) + "\n"

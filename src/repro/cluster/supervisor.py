@@ -1,0 +1,413 @@
+"""Process supervision for a terpd cluster.
+
+:class:`ClusterSupervisor` forks ``shards`` worker processes — each a
+full :class:`~repro.service.server.TerpService` with its own event
+loop, sweeper, pmo_id residue class, and (when durable) its own store
+subdirectory — plus one or more :class:`~repro.cluster.router.TerpRouter`
+processes on the front port.  A monitor thread watches liveness and
+restarts whatever dies:
+
+* a dead **shard** restarts on the *same* learned port with the same
+  store directory, so the router's arithmetic routing stays valid and
+  a durable shard comes back through the warm-restart path
+  (:mod:`repro.service.recovery`) with its exposure clock monotonic
+  across the outage — windows that straddled the crash are charged,
+  not forgiven;
+* a dead **router** restarts on the front port.
+
+Multiple routers bind the same front port with ``SO_REUSEPORT`` so the
+kernel shards accepted connections across them — the cheap fast path
+for connection-heavy workloads.
+
+Everything a child needs travels through a :class:`ClusterConfig`
+(picklable, so ``spawn`` works where ``fork`` is unavailable) and the
+child reports its bound port back through a pipe.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import multiprocessing
+import os
+import signal
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.pmo.store import DEFAULT_COMMIT_INTERVAL_US
+from repro.service.server import (
+    DEFAULT_SESSION_EW_NS, DEFAULT_SESSION_LINGER_NS,
+    DEFAULT_SWEEP_PERIOD_NS)
+
+#: How long to wait for a child to report its bound port.  Generous:
+#: a durable shard replays its journal before it binds.
+_STARTUP_TIMEOUT_S = 30.0
+
+
+@dataclass
+class ClusterConfig:
+    """Everything the supervisor and its children need to agree on."""
+
+    shards: int = 2
+    routers: int = 1
+    host: str = "127.0.0.1"
+    #: front (router) port; 0 picks an ephemeral one
+    port: int = 0
+    #: durable root: shard ``i`` stores under ``<pool_dir>/shard0i``
+    pool_dir: Optional[str] = None
+    session_ew_ns: int = DEFAULT_SESSION_EW_NS
+    sweep_period_ns: int = DEFAULT_SWEEP_PERIOD_NS
+    session_linger_ns: int = DEFAULT_SESSION_LINGER_NS
+    ew_target_us: float = 40.0
+    cb_capacity: int = 32
+    commit_interval_us: int = DEFAULT_COMMIT_INTERVAL_US
+    seed: int = 2022
+    obs_enabled: bool = True
+    #: cProfile stats prefix; each process writes its own file
+    #: (``<profile>.shard0``, ``<profile>.router0``, …)
+    profile: Optional[str] = None
+    quiet: bool = True
+    #: per-child restart budget before the supervisor gives up on it
+    max_restarts: int = 5
+    monitor_period_s: float = 0.15
+
+    def shard_dir(self, index: int) -> Optional[str]:
+        if self.pool_dir is None:
+            return None
+        return os.path.join(self.pool_dir, f"shard{index:02d}")
+
+
+async def _child_serve(node: Any, report, quiet: bool,
+                       what: str) -> None:
+    """Start a service/router, report the port, serve until signaled."""
+    await node.start()
+    report.send({"port": node.bound_port})
+    report.close()
+    if not quiet:
+        print(f"terpd {what} serving on port {node.bound_port}",
+              flush=True)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except NotImplementedError:
+            pass
+    try:
+        await stop.wait()
+    finally:
+        await node.stop()
+        # Let connection tasks unwind off their closed transports
+        # before asyncio.run() cancels them mid-read (noisy).
+        await asyncio.sleep(0.05)
+
+
+def _run_child(amain, profile_path: Optional[str], report) -> None:
+    profiler = None
+    if profile_path:
+        import cProfile
+        profiler = cProfile.Profile()
+        profiler.enable()
+    try:
+        asyncio.run(amain())
+    except Exception as exc:   # report startup failures, don't hang
+        try:
+            report.send({"error": repr(exc)})
+        except (OSError, ValueError):
+            pass
+        raise
+    finally:
+        if profiler is not None:
+            profiler.disable()
+            profiler.dump_stats(profile_path)
+
+
+def _shard_main(config: ClusterConfig, index: int, port: int,
+                report) -> None:
+    """Child entry point: one terpd shard (module-level: picklable)."""
+    from repro.service.server import TerpService
+
+    async def amain() -> None:
+        service = TerpService(
+            host=config.host, port=port,
+            ew_target_us=config.ew_target_us,
+            session_ew_ns=config.session_ew_ns,
+            sweep_period_ns=config.sweep_period_ns,
+            session_linger_ns=config.session_linger_ns,
+            cb_capacity=config.cb_capacity,
+            seed=config.seed + index,
+            obs_enabled=config.obs_enabled,
+            pool_dir=config.shard_dir(index),
+            commit_interval_us=config.commit_interval_us,
+            shard_index=index, shard_count=config.shards)
+        await _child_serve(service, report, config.quiet,
+                           f"shard {index}")
+
+    profile = (f"{config.profile}.shard{index}"
+               if config.profile else None)
+    _run_child(amain, profile, report)
+
+
+def _router_main(config: ClusterConfig, index: int, port: int,
+                 shard_addrs: List[Tuple[str, int]],
+                 reuse_port: bool, report) -> None:
+    """Child entry point: one router process (module-level: picklable)."""
+    from repro.cluster.router import TerpRouter
+
+    async def amain() -> None:
+        router = TerpRouter(
+            shard_addrs=shard_addrs, host=config.host, port=port,
+            reuse_port=reuse_port,
+            session_ew_ns=config.session_ew_ns,
+            session_linger_ns=config.session_linger_ns,
+            seed=config.seed)
+        await _child_serve(router, report, config.quiet,
+                           f"router {index}")
+
+    profile = (f"{config.profile}.router{index}"
+               if config.profile else None)
+    _run_child(amain, profile, report)
+
+
+class _Child:
+    """One supervised process and what it takes to respawn it."""
+
+    __slots__ = ("kind", "index", "port", "process", "restarts",
+                 "given_up")
+
+    def __init__(self, kind: str, index: int) -> None:
+        self.kind = kind             # "shard" | "router"
+        self.index = index
+        self.port: Optional[int] = None
+        self.process: Optional[multiprocessing.process.BaseProcess] = \
+            None
+        self.restarts = 0
+        self.given_up = False
+
+
+class ClusterSupervisor:
+    """Fork, watch, restart: the cluster's process tree."""
+
+    def __init__(self, config: Optional[ClusterConfig] = None,
+                 **overrides: Any) -> None:
+        if config is None:
+            config = ClusterConfig(**overrides)
+        elif overrides:
+            config = dataclasses.replace(config, **overrides)
+        if config.shards < 1:
+            raise ValueError("need at least one shard")
+        if config.routers < 1:
+            raise ValueError("need at least one router")
+        self.config = config
+        try:
+            self._ctx = multiprocessing.get_context("fork")
+        except ValueError:       # pragma: no cover - non-posix
+            self._ctx = multiprocessing.get_context("spawn")
+        self._shards = [_Child("shard", i)
+                        for i in range(config.shards)]
+        self._routers = [_Child("router", i)
+                         for i in range(config.routers)]
+        self._monitor: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+        self._lock = threading.Lock()
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def front_port(self) -> int:
+        port = self._routers[0].port
+        assert port is not None, "cluster not started"
+        return port
+
+    @property
+    def shard_ports(self) -> List[int]:
+        return [c.port or 0 for c in self._shards]
+
+    def shard_pid(self, index: int) -> Optional[int]:
+        process = self._shards[index].process
+        return process.pid if process is not None else None
+
+    def state(self) -> Dict[str, Any]:
+        return {
+            "front_port": self.front_port,
+            "host": self.config.host,
+            "shards": [{"index": c.index, "port": c.port,
+                        "pid": c.process.pid if c.process else None,
+                        "restarts": c.restarts}
+                       for c in self._shards],
+            "routers": [{"index": c.index, "port": c.port,
+                         "pid": c.process.pid if c.process else None}
+                        for c in self._routers],
+        }
+
+    def write_state_file(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.state(), fh, indent=2)
+            fh.write("\n")
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        if self.config.pool_dir is not None:
+            os.makedirs(self.config.pool_dir, exist_ok=True)
+        for child in self._shards:
+            self._spawn_shard(child, port=0)
+        shard_addrs = [(self.config.host, c.port or 0)
+                       for c in self._shards]
+        reuse = len(self._routers) > 1
+        for child in self._routers:
+            # Router 0 binds the configured front port; the rest join
+            # it via SO_REUSEPORT for kernel-side accept sharding.
+            port = self.config.port if child.index == 0 \
+                else self.front_port
+            self._spawn_router(child, port=port,
+                               shard_addrs=shard_addrs,
+                               reuse_port=reuse)
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="terpd-cluster-monitor",
+            daemon=True)
+        self._monitor.start()
+
+    def stop(self, timeout_s: float = 10.0) -> None:
+        self._stopping.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=timeout_s)
+        deadline = time.monotonic() + timeout_s
+        # Routers go first and fully: they close their upstream
+        # connections on the way down, so the shards then shut down
+        # with no connections left to tear mid-read.
+        for group in (self._routers, self._shards):
+            for child in group:
+                process = child.process
+                if process is not None and process.is_alive():
+                    process.terminate()
+            for child in group:
+                process = child.process
+                if process is None:
+                    continue
+                process.join(timeout=max(
+                    0.0, deadline - time.monotonic()))
+                if process.is_alive():
+                    process.kill()
+                    process.join(timeout=1.0)
+
+    def __enter__(self) -> "ClusterSupervisor":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # -- chaos hooks -------------------------------------------------------
+
+    def kill_shard(self, index: int) -> int:
+        """SIGKILL one shard (no goodbye, no flush) and return its pid.
+
+        The monitor restarts it on the same port; a durable shard then
+        walks the warm-restart path and charges the outage to every
+        window that was open when the power went out.
+        """
+        process = self._shards[index].process
+        assert process is not None and process.pid is not None
+        pid = process.pid
+        os.kill(pid, signal.SIGKILL)
+        return pid
+
+    def wait_for_shard(self, index: int,
+                       timeout_s: float = 15.0) -> bool:
+        """Block until shard ``index`` is (back) up, or time out."""
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            with self._lock:
+                process = self._shards[index].process
+                up = process is not None and process.is_alive()
+            if up and self._probe(self._shards[index]):
+                return True
+            time.sleep(0.02)
+        return False
+
+    def _probe(self, child: _Child) -> bool:
+        import socket as socketlib
+        try:
+            with socketlib.create_connection(
+                    (self.config.host, child.port or 0), timeout=0.5):
+                return True
+        except OSError:
+            return False
+
+    # -- spawning ----------------------------------------------------------
+
+    def _spawn(self, child: _Child, target, args: tuple) -> None:
+        parent_end, child_end = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=target, args=args + (child_end,),
+            name=f"terpd-{child.kind}{child.index}", daemon=True)
+        process.start()
+        child_end.close()
+        if not parent_end.poll(_STARTUP_TIMEOUT_S):
+            process.kill()
+            raise RuntimeError(
+                f"{child.kind} {child.index} never reported a port")
+        reported = parent_end.recv()
+        parent_end.close()
+        if "error" in reported:
+            process.join(timeout=2.0)
+            raise RuntimeError(f"{child.kind} {child.index} failed "
+                               f"to start: {reported['error']}")
+        child.port = int(reported["port"])
+        child.process = process
+
+    def _spawn_shard(self, child: _Child, *, port: int) -> None:
+        self._spawn(child, _shard_main,
+                    (self.config, child.index, port))
+
+    def _spawn_router(self, child: _Child, *, port: int,
+                      shard_addrs: List[Tuple[str, int]],
+                      reuse_port: bool) -> None:
+        self._spawn(child, _router_main,
+                    (self.config, child.index, port, shard_addrs,
+                     reuse_port))
+
+    # -- monitoring --------------------------------------------------------
+
+    def _monitor_loop(self) -> None:
+        while not self._stopping.wait(self.config.monitor_period_s):
+            with self._lock:
+                for child in self._shards:
+                    self._revive(child)
+                for child in self._routers:
+                    self._revive(child)
+
+    def _revive(self, child: _Child) -> None:
+        process = child.process
+        if process is None or process.is_alive() or child.given_up:
+            return
+        process.join(timeout=0)
+        if child.restarts >= self.config.max_restarts:
+            child.given_up = True
+            if not self.config.quiet:
+                print(f"terpd {child.kind} {child.index} died "
+                      f"{child.restarts + 1} times; giving up",
+                      file=sys.stderr, flush=True)
+            return
+        child.restarts += 1
+        try:
+            if child.kind == "shard":
+                # Same learned port, same store directory: routing
+                # stays valid and recovery finds the journal.
+                self._spawn_shard(child, port=child.port or 0)
+            else:
+                shard_addrs = [(self.config.host, c.port or 0)
+                               for c in self._shards]
+                self._spawn_router(
+                    child, port=child.port or 0,
+                    shard_addrs=shard_addrs,
+                    reuse_port=len(self._routers) > 1)
+        except RuntimeError:
+            # Spawn failed (port still draining?); next monitor tick
+            # retries until the restart budget runs out.
+            pass

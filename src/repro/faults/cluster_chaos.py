@@ -1,0 +1,387 @@
+"""Cluster chaos: kill one shard mid-traffic, check I1-I6 everywhere.
+
+``run_cluster_chaos(seed)`` stands up a durable N-shard cluster
+(:class:`~repro.cluster.supervisor.ClusterSupervisor`), drives worker
+threads through the router (attach/write/read/psync/detach rounds,
+one squatter holding an attachment on a victim-owned PMO), SIGKILLs
+one shard mid-traffic, and lets the supervisor warm-restart it.  The
+verdict then checks the temporal-protection invariants at two scopes:
+
+* **per shard** — each shard's own audit timeline must satisfy I1-I6
+  (:func:`repro.faults.invariants.check_events`), including I6 on the
+  victim: its restart event grants outage allowance, and recovery
+  must have force-closed every window that straddled the crash;
+* **globally** — the shards' timelines merged by timestamp must still
+  satisfy I1-I5.  Restart events are *filtered* from the merge and
+  the victim's downtime is added to the global slack instead: I6 is a
+  per-process property (a survivor's window legitimately stays open
+  across another shard's restart), so checking it on the merged
+  timeline would manufacture violations.  Entities are remapped to
+  ``entity + (shard << 32)`` so per-shard id spaces cannot alias.
+
+Survivor shards must come through untouched: no restart events, no
+outage-attributed forced detaches.  The victim's forced detaches must
+be attributed to the outage or the restart.  Every client request
+must be acknowledged or typed-failed, exactly as in the single-daemon
+chaos suite.
+
+Replay any failure with ``python -m repro.faults.cluster_chaos
+--seed N``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.cluster.ring import HashRing
+from repro.cluster.supervisor import ClusterConfig, ClusterSupervisor
+from repro.faults.chaos import SCHEDULING_SLACK_NS, _Tally
+from repro.faults.invariants import InvariantReport, check_events
+from repro.obs.audit import RESTART
+from repro.service.client import SyncTerpClient
+from repro.service.retry import RetryPolicy
+
+#: Per-session wall-clock budget for the run.  Generous: the whole
+#: cluster (N shards + router + supervisor + worker threads) shares
+#: whatever cores the host has, and a shard restart stalls everyone.
+DEFAULT_EW_NS = 400_000_000
+DEFAULT_SWEEP_NS = 20_000_000
+
+
+def _retry(seed: int, idx: int) -> RetryPolicy:
+    """Generous backoff: a worker must ride out the whole
+    kill-to-warm-restart window, not just a dropped frame."""
+    return RetryPolicy(max_retries=10, base_delay_s=0.01,
+                       multiplier=2.0, max_delay_s=0.25,
+                       seed=seed * 257 + idx)
+
+
+@dataclass
+class ClusterChaosResult:
+    """The verdict of one seeded kill-a-shard run."""
+
+    seed: int
+    shards: int
+    victim: Optional[int] = None
+    per_shard: Dict[int, InvariantReport] = field(default_factory=dict)
+    global_report: InvariantReport = field(
+        default_factory=InvariantReport)
+    requests_ok: int = 0
+    requests_failed: int = 0
+    failures_by_kind: Dict[str, int] = field(default_factory=dict)
+    forced_detach_events: int = 0
+    victim_restarts: int = 0
+    victim_outage_attributed: bool = False
+    survivors_clean: bool = False
+    slack_ns: int = 0
+    unexpected: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        invariants_ok = (self.global_report.ok and
+                         all(r.ok for r in self.per_shard.values()))
+        if self.victim is None:      # --no-kill run: invariants only
+            return invariants_ok and not self.unexpected
+        return (invariants_ok and not self.unexpected
+                and self.victim_restarts >= 1
+                and self.victim_outage_attributed
+                and self.survivors_clean)
+
+    def describe(self) -> str:
+        lines = [
+            f"cluster chaos seed {self.seed} "
+            f"({self.shards} shards): "
+            f"{'OK' if self.ok else 'FAILED'}",
+            f"  requests: {self.requests_ok} ok, "
+            f"{self.requests_failed} typed-failed "
+            f"({self.failures_by_kind})",
+            f"  victim: shard {self.victim}, restarts "
+            f"{self.victim_restarts}, outage attributed: "
+            f"{self.victim_outage_attributed}, survivors clean: "
+            f"{self.survivors_clean}",
+        ]
+        for shard, report in sorted(self.per_shard.items()):
+            lines.append(f"  shard {shard}: {report.describe()}")
+        lines.append(f"  global: {self.global_report.describe()}")
+        if self.unexpected:
+            lines.append(f"  UNEXPECTED: {self.unexpected}")
+        if not self.ok:
+            lines.append("  replay: python -m "
+                         f"repro.faults.cluster_chaos "
+                         f"--seed {self.seed} --shards {self.shards}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "shards": self.shards,
+            "ok": self.ok,
+            "victim": self.victim,
+            "victim_restarts": self.victim_restarts,
+            "victim_outage_attributed":
+                self.victim_outage_attributed,
+            "survivors_clean": self.survivors_clean,
+            "requests_ok": self.requests_ok,
+            "requests_failed": self.requests_failed,
+            "failures_by_kind": self.failures_by_kind,
+            "forced_detach_events": self.forced_detach_events,
+            "slack_ns": self.slack_ns,
+            "unexpected": self.unexpected,
+            "violations": {
+                **{f"shard{s}": [str(v) for v in r.violations]
+                   for s, r in self.per_shard.items()},
+                "global": [str(v)
+                           for v in self.global_report.violations],
+            },
+        }
+
+
+def _pick_names(seed: int, shards: int, workers: int) -> List[str]:
+    """One PMO name per worker, spread so every shard owns at least
+    one — computed with the same seeded ring the router uses, so the
+    placement needs no probing."""
+    ring = HashRing(range(shards), seed=seed)
+    names: List[str] = []
+    for idx in range(workers):
+        target = idx % shards
+        k = 0
+        while True:
+            name = f"cchaos-{idx}-{k}"
+            if ring.owner(name) == target:
+                names.append(name)
+                break
+            k += 1
+    return names
+
+
+def _worker(idx: int, port: int, seed: int, name: str, rounds: int,
+            tally: _Tally, stop_early: threading.Event) -> None:
+    client = SyncTerpClient(port=port, user=f"cworker{idx}",
+                            retry=_retry(seed, idx))
+    if tally.attempt(client.connect) is None:
+        return
+    oid = None
+    for r in range(rounds):
+        if stop_early.is_set():
+            break
+        tally.attempt(lambda: client.attach(name))
+        if oid is None:
+            oid = tally.attempt(lambda: client.pmalloc(name, 16))
+        if oid is not None:
+            tally.attempt(
+                lambda: client.write_u64(oid, idx * 1_000 + r))
+            tally.attempt(lambda: client.read_u64(oid))
+        tally.attempt(lambda: client.psync(name))
+        tally.attempt(lambda: client.detach(name))
+    tally.attempt(client.goodbye)
+    client.close()
+
+
+def _shard_audit(host: str, port: int) -> Dict[str, Any]:
+    """Pull one shard's audit state over the wire (sessionless)."""
+    with SyncTerpClient(host=host, port=port) as direct:
+        trace = direct.call("trace", limit=65536)
+        metrics = direct.call("metrics")
+    return {
+        "events": trace["audit"],
+        "open_windows": trace["open_windows"],
+        "summary": metrics["audit"],
+    }
+
+
+def run_cluster_chaos(seed: int, *, shards: int = 2,
+                      workers: int = 4, rounds: int = 6,
+                      session_ew_ns: int = DEFAULT_EW_NS,
+                      sweep_period_ns: int = DEFAULT_SWEEP_NS,
+                      kill: bool = True,
+                      pool_dir: Optional[str] = None
+                      ) -> ClusterChaosResult:
+    """One seeded kill-a-shard run; returns the full verdict."""
+    result = ClusterChaosResult(seed=seed, shards=shards)
+    own_dir = pool_dir is None
+    if own_dir:
+        pool_dir = tempfile.mkdtemp(prefix="terpd-cluster-chaos-")
+    config = ClusterConfig(
+        shards=shards, pool_dir=pool_dir, seed=seed,
+        session_ew_ns=session_ew_ns,
+        sweep_period_ns=sweep_period_ns,
+        session_linger_ns=10_000_000_000)
+    names = _pick_names(seed, shards, workers)
+    tallies = [_Tally() for _ in range(workers)]
+    stop_early = threading.Event()
+    victim = 0 if kill else None
+    result.victim = victim
+    supervisor = ClusterSupervisor(config)
+    try:
+        supervisor.start()
+        port = supervisor.front_port
+        with SyncTerpClient(port=port, user="admin") as admin:
+            for name in names:
+                admin.create(name, 1 << 20, mode=0o666)
+        # The squatter holds an attachment on a victim-owned PMO
+        # through the SIGKILL: recovery must force-close it and
+        # attribute the closure to the outage, never hand it back.
+        squatter = SyncTerpClient(port=port, user="squatter",
+                                  retry=_retry(seed, 99))
+        squatter.connect()
+        squat_name = names[victim if victim is not None else 0]
+        squatter.attach(squat_name)
+        threads = [
+            threading.Thread(
+                target=_worker, name=f"cchaos-w{i}",
+                args=(i, port, seed, names[i], rounds, tallies[i],
+                      stop_early))
+            for i in range(workers)]
+        for thread in threads:
+            thread.start()
+        if victim is not None:
+            # Let traffic build, then pull the plug on one shard.
+            time.sleep(0.15)
+            supervisor.kill_shard(victim)
+            if not supervisor.wait_for_shard(victim, timeout_s=20.0):
+                result.unexpected.append(
+                    f"shard {victim} never restarted")
+                stop_early.set()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        for thread in threads:
+            if thread.is_alive():
+                result.unexpected.append(
+                    f"worker {thread.name} hung past deadline")
+        # The squatter's window was force-closed by recovery; its own
+        # late detach must be the defined silent no-op or typed error.
+        squat_tally = _Tally()
+        squat_tally.attempt(lambda: squatter.detach(squat_name))
+        squat_tally.attempt(squatter.goodbye)
+        squatter.close()
+        result.unexpected.extend(squat_tally.unexpected)
+        # Drain: wait for every shard's sweeper to close whatever the
+        # workers left open, then photograph the timelines.
+        audits: Dict[int, Dict[str, Any]] = {}
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            audits = {
+                s: _shard_audit(config.host, shard_port)
+                for s, shard_port in
+                enumerate(supervisor.shard_ports)}
+            if not any(a["open_windows"] for a in audits.values()):
+                break
+            time.sleep(sweep_period_ns / 1e9 * 2)
+        result.victim_restarts = 0 if victim is None else \
+            supervisor.state()["shards"][victim]["restarts"]
+    except Exception as exc:          # noqa: BLE001 — verdict, not crash
+        result.unexpected.append(
+            f"harness: {type(exc).__name__}: {exc}")
+        return result
+    finally:
+        supervisor.stop()
+        if own_dir:
+            shutil.rmtree(pool_dir, ignore_errors=True)
+
+    # -- the two-scope invariant check ----------------------------------
+    downtime_ns = 0
+    slack_ns = 6 * sweep_period_ns + SCHEDULING_SLACK_NS
+    result.slack_ns = slack_ns
+    merged: List[Dict[str, Any]] = []
+    for shard, audit in audits.items():
+        events = audit["events"]
+        restarts = [e for e in events if e.get("kind") == RESTART]
+        downtime_ns += sum(e.get("duration_ns") or 0
+                           for e in restarts)
+        summary = audit["summary"]
+        # A wrapped ring would make pairing a false alarm; with the
+        # 64Ki-event ring this workload never wraps, but stay honest.
+        per_pmo = summary if summary.get("events", 0) <= len(events) \
+            else None
+        result.per_shard[shard] = check_events(
+            events, ew_budget_ns=session_ew_ns, slack_ns=slack_ns,
+            summary=per_pmo, open_windows=audit["open_windows"])
+        forced = [e for e in events
+                  if e.get("kind") == "forced-detach"]
+        result.forced_detach_events += len(forced)
+        reasons = {str(e.get("reason", "")) for e in forced}
+        if shard == victim:
+            result.victim_outage_attributed = any(
+                "outage" in r or "restart" in r for r in reasons)
+        for event in events:
+            if event.get("kind") == RESTART:
+                continue
+            clone = dict(event)
+            clone["entity"] = (event.get("entity") or 0) + \
+                (shard << 32)
+            merged.append(clone)
+    result.survivors_clean = all(
+        not any(e.get("kind") == RESTART
+                for e in audits[s]["events"])
+        and not any("outage" in str(e.get("reason", ""))
+                    or "restart" in str(e.get("reason", ""))
+                    for e in audits[s]["events"]
+                    if e.get("kind") == "forced-detach")
+        for s in audits if s != victim)
+    merged.sort(key=lambda e: e.get("at_ns", 0))
+    # Globally: I1-I5 on the merged timeline.  Restart events are
+    # filtered (I6 is per-process) and the outage is granted to every
+    # window as slack instead — conservative, but the victim's own
+    # I6 ran above with the precise per-window accounting.
+    result.global_report = check_events(
+        merged, ew_budget_ns=session_ew_ns,
+        slack_ns=slack_ns + downtime_ns,
+        open_windows=[w for a in audits.values()
+                      for w in a["open_windows"]])
+    for tally in tallies:
+        result.requests_ok += tally.ok
+        result.requests_failed += tally.failed
+        result.unexpected.extend(tally.unexpected)
+        for kind, count in tally.by_kind.items():
+            result.failures_by_kind[kind] = \
+                result.failures_by_kind.get(kind, 0) + count
+    return result
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults.cluster_chaos",
+        description="Kill one shard of a live terpd cluster mid-"
+                    "traffic; exit 0 iff invariants I1-I6 held per "
+                    "shard and globally.")
+    parser.add_argument("--seed", default="random",
+                        help="integer seed, or 'random' (default)")
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--rounds", type=int, default=6,
+                        help="attach/write/read/psync/detach rounds "
+                             "per worker")
+    parser.add_argument("--no-kill", action="store_true",
+                        help="run the same workload without killing "
+                             "a shard (invariants only)")
+    parser.add_argument("--out", default=None,
+                        help="write the full verdict to this JSON "
+                             "file")
+    args = parser.parse_args(argv)
+    if args.seed == "random":
+        seed = int.from_bytes(os.urandom(4), "big")
+    else:
+        seed = int(args.seed)
+    result = run_cluster_chaos(seed, shards=args.shards,
+                               workers=args.workers,
+                               rounds=args.rounds,
+                               kill=not args.no_kill)
+    print(result.describe())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, indent=2)
+        print(f"verdict written to {args.out}")
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,10 +41,30 @@ class PmoManager:
         self._by_id: Dict[int, Pmo] = {}
         self._open_count: Dict[int, int] = {}
         self._next_id = 1
+        self._id_start = 1
+        self._id_step = 1
         #: When set (durable pool), ``create`` asks this for the
         #: backing storage — ``(name, size_bytes) -> SparseBytes``.
         self.storage_factory: Optional[
             Callable[[str, int], SparseBytes]] = None
+
+    def set_id_namespace(self, *, start: int, step: int) -> None:
+        """Partition the pmo_id space: allocate ``start, start+step, …``.
+
+        A cluster shard ``i`` of ``N`` calls this with ``start=i+1,
+        step=N`` so every id it ever mints satisfies
+        ``(pmo_id - 1) % N == i`` — the router recovers the owning
+        shard from an Oid's pool id with arithmetic alone, and two
+        shards can never collide even across restarts.  Must be called
+        before any PMO exists (ids already handed out are immutable).
+        """
+        if start < 1 or step < 1:
+            raise PmoError("id namespace needs start >= 1, step >= 1")
+        if self._by_id:
+            raise PmoError("cannot renumber a populated PMO namespace")
+        self._id_start = start
+        self._id_step = step
+        self._next_id = start
 
     def create(self, name: str, size_bytes: int, *, owner: str = "root",
                mode: int = 0o600) -> Pmo:
@@ -55,7 +75,7 @@ class PmoManager:
             if self.storage_factory is not None else None
         pmo = Pmo(self._next_id, name, size_bytes, owner=owner,
                   mode=mode, storage=storage)
-        self._next_id += 1
+        self._next_id += self._id_step
         self._by_name[name] = pmo
         self._by_id[pmo.pmo_id] = pmo
         self._open_count[pmo.pmo_id] = 1
@@ -75,7 +95,12 @@ class PmoManager:
         self._by_name[pmo.name] = pmo
         self._by_id[pmo.pmo_id] = pmo
         self._open_count[pmo.pmo_id] = 1
-        self._next_id = max(self._next_id, pmo.pmo_id + 1)
+        if pmo.pmo_id >= self._next_id:
+            # Advance to the smallest id beyond the adopted one that
+            # stays in this manager's residue class (start mod step).
+            steps = (pmo.pmo_id + self._id_step -
+                     self._id_start) // self._id_step
+            self._next_id = self._id_start + steps * self._id_step
         return pmo
 
     def open(self, name: str, *, user: str = "root",

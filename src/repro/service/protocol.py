@@ -176,6 +176,43 @@ async def read_frame_ex(reader: asyncio.StreamReader
     return decode_frame(body), sidecar
 
 
+async def read_frame_raw(reader: asyncio.StreamReader
+                         ) -> Optional[Tuple[bytes, bytes]]:
+    """Read one frame but leave the JSON body *undecoded*.
+
+    Returns ``(body_bytes, sidecar_bytes)`` or ``None`` on clean EOF.
+    The cluster router's relay path uses this: a response from the
+    owning shard is forwarded to the client byte-for-byte, paying no
+    decode/re-encode on the fast path.
+    """
+    try:
+        header = await reader.readexactly(HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise WireError("stream truncated mid-header") from None
+    (word,) = HEADER.unpack(header)
+    length = word & LEN_MASK
+    if length > MAX_FRAME_BYTES:
+        raise WireError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise WireError("stream truncated mid-frame") from None
+    sidecar = b""
+    if word & SIDECAR_FLAG:
+        try:
+            side_head = await reader.readexactly(HEADER.size)
+            (side_len,) = HEADER.unpack(side_head)
+            if side_len > MAX_SIDECAR_BYTES:
+                raise WireError(f"sidecar length {side_len} exceeds "
+                                f"{MAX_SIDECAR_BYTES}")
+            sidecar = await reader.readexactly(side_len)
+        except asyncio.IncompleteReadError:
+            raise WireError("stream truncated mid-sidecar") from None
+    return body, sidecar
+
+
 async def read_frame(reader: asyncio.StreamReader) -> Optional[Any]:
     """Read one v1 frame from an asyncio stream; None on clean EOF."""
     got = await read_frame_ex(reader)

@@ -31,16 +31,15 @@ import asyncio
 import json
 import threading
 import time
-from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.arch.cond_engine import TerpArchEngine
 from repro.core.errors import (
-    Busy, InjectedCrash, IntegrityError, PmoError, TerpError)
+    InjectedCrash, IntegrityError, PmoError, TerpError)
 from repro.faults.plan import FaultPlan, Injection
 from repro.mem.mpk import NUM_KEYS
 from repro.core.permissions import Access
 from repro.obs import Observability
-from repro.obs.tracing import NULL_SPAN
 from repro.pmo.api import PmoLibrary
 from repro.pmo.object_id import Oid
 from repro.pmo.pool import mode_allows
@@ -54,7 +53,9 @@ from repro.service.protocol import (
     ok_response)
 from repro.service.recovery import (
     RecoveryManager, RecoveryReport, SessionJournal)
-from repro.service.sessions import Session, SessionRegistry
+from repro.service.registry import SessionManager
+from repro.service.sessions import Session
+from repro.service.sweeping import Sweeper
 
 #: Default wall-clock exposure budget per session: 50ms.  Generous next
 #: to the paper's 40us simulated target, but terpd enforces over real
@@ -121,13 +122,21 @@ class TerpService:
                  pool_dir: Optional[str] = None,
                  scrub_pages_per_sweep: int = SCRUB_PAGES_PER_PASS,
                  commit_interval_us: int = DEFAULT_COMMIT_INTERVAL_US,
-                 protocol_version: int = PROTOCOL_VERSION) -> None:
+                 protocol_version: int = PROTOCOL_VERSION,
+                 shard_index: Optional[int] = None,
+                 shard_count: int = 1) -> None:
         if port is None and unix_path is None:
             raise TerpError("need a TCP port and/or a unix socket path")
         self.host = host
         self.port = port
         self.unix_path = unix_path
         self.sweep_period_ns = sweep_period_ns
+        #: Cluster identity: shard ``i`` of ``N`` allocates pmo_ids in
+        #: the residue class ``i+1 (mod N)``, so the router can map an
+        #: Oid's pool id back to its owning shard with arithmetic
+        #: alone.  ``None`` means a standalone daemon (the default).
+        self.shard_index = shard_index
+        self.shard_count = shard_count
         #: The observability switchboard: metrics registry + tracer +
         #: exposure audit timeline, shared with the library and the
         #: runtime.  ``obs_enabled=False`` runs the daemon in the
@@ -141,7 +150,6 @@ class TerpService:
                                 capacity=cb_capacity,
                                 domain_capacity=NUM_KEYS - 1,
                                 sweep_period_ns=sweep_period_ns)
-        engine.on_forced_detach = self._on_engine_forced_detach
         engine.tracer = self._tracer
         self.engine = engine
         #: Optional deterministic fault-injection plan.  One plan is
@@ -172,16 +180,29 @@ class TerpService:
         self.lib = PmoLibrary(semantics=engine, seed=seed, strict=True,
                               obs=self.obs, faults=faults,
                               store=self.store)
+        if shard_index is not None:
+            self.lib.manager.set_id_namespace(start=shard_index + 1,
+                                              step=shard_count)
         if self.store is not None:
             engine.scrubber = lambda: self.store.scrub(
                 scrub_pages_per_sweep)
             engine.on_scrub = self._on_scrub
-        self.registry = SessionRegistry(
-            default_ew_budget_ns=session_ew_ns, token_seed=seed)
         self.metrics = ServiceMetrics(self.obs.registry)
-        self._sessions_gauge = self.obs.registry.gauge(
-            "terpd_sessions", "currently bound sessions")
+        #: Session lifecycle: allocation, resume, release, journaling.
+        self.sessions = SessionManager(
+            lib=self.lib, metrics=self.metrics, obs=self.obs,
+            default_ew_budget_ns=session_ew_ns, token_seed=seed,
+            max_sessions=max_sessions)
+        #: The raw registry, for embedders and recovery.
+        self.registry = self.sessions.registry
+        engine.on_forced_detach = self.sessions.on_engine_forced_detach
         self._t0 = time.monotonic_ns()
+        #: Temporal enforcement: the session-budget + engine sweep.
+        self.sweeper = Sweeper(
+            lib=self.lib, sessions=self.sessions, metrics=self.metrics,
+            obs=self.obs, sweep_period_ns=sweep_period_ns,
+            session_linger_ns=session_linger_ns, now_ns=self.now_ns,
+            faults=faults, tracer=self._tracer)
         self._servers: List[asyncio.AbstractServer] = []
         self._sweeper: Optional[asyncio.Task] = None
         self._writers: set = set()
@@ -224,6 +245,7 @@ class TerpService:
             # holding open at the crash is force-detached on the
             # unbroken exposure clock — all before the first request.
             self.session_journal = SessionJournal(pool_dir)
+            self.sessions.journal = self.session_journal
             self.recovery_report = RecoveryManager(self).recover()
 
     # -- clock ---------------------------------------------------------------
@@ -294,7 +316,7 @@ class TerpService:
             server = await asyncio.start_unix_server(
                 self._serve_connection, path=self.unix_path)
             self._servers.append(server)
-        self._sweeper = asyncio.create_task(self._sweep_loop())
+        self._sweeper = asyncio.create_task(self.sweeper.loop())
 
     async def stop(self) -> None:
         """Graceful shutdown: stop sweeping, detach every session."""
@@ -313,8 +335,8 @@ class TerpService:
         with self.lib.lock:
             now = self.lib.advance_to(self.now_ns())
             for session in self.registry:
-                self._release_session(session, now, reason="shutdown")
-                self._journal_close(session, now)
+                self.sessions.release(session, now, reason="shutdown")
+                self.sessions.journal_close(session, now)
                 self.registry.remove(session.session_id)
             self.lib.runtime.finish(self.lib.clock_ns)
         if self.store is not None:
@@ -368,160 +390,13 @@ class TerpService:
 
     # -- the sweeper ---------------------------------------------------------
 
-    async def _sweep_loop(self) -> None:
-        period_s = self.sweep_period_ns / 1e9
-        while True:
-            await asyncio.sleep(period_s)
-            self.run_sweep()
-
     def run_sweep(self) -> int:
         """One sweeper pass; returns the number of forced detaches.
 
-        Callable directly (tests, embedders); the background task calls
-        it on every period.  Two phases under the library lock:
-        session-budget enforcement, then the engine's own sweep.
+        Delegates to :class:`~repro.service.sweeping.Sweeper`; kept on
+        the service for tests and embedders that drive sweeps by hand.
         """
-        t_wall = time.perf_counter_ns()
-        tracer = self._tracer
-        if self.faults is not None:
-            rule = self.faults.fire("engine.sweep_stall")
-            if rule is not None:
-                # A stalled sweeper skips this pass entirely (both the
-                # session-budget phase and the engine sweep).  Expired
-                # windows stay open until the next pass: enforcement is
-                # delayed by one period, never lost — the invariant
-                # checker's slack budgets for exactly this.
-                if rule.delay_ns > 0:
-                    time.sleep(rule.delay_ns / 1e9)
-                return 0
-        forced = 0
-        with self.lib.lock:
-            now = self.lib.advance_to(self.now_ns())
-            with (tracer.span("terpd.sweep") if tracer is not None
-                  else NULL_SPAN) as span:
-                for session in self.registry:
-                    for pmo_id in session.expired(now):
-                        self._force_detach_session(session, pmo_id, now)
-                        forced += 1
-                engine_closed = len(self.lib.runtime.sweep(now))
-                span.set("forced", forced)
-                span.set("engine_closed", engine_closed)
-            for session in self.registry.lingering():
-                # Dropped sessions hold no windows (teardown released
-                # them); after the linger grace their identity and
-                # replay cache go too.
-                if session.linger_expired(now, self.session_linger_ns):
-                    self.registry.remove(session.session_id)
-                    self._journal_close(session, now)
-            if self.obs.enabled and (forced or engine_closed):
-                self.obs.audit.record_sweep(
-                    now, closed=forced + engine_closed,
-                    duration_ns=time.perf_counter_ns() - t_wall)
-        self.metrics.note_sweep(time.perf_counter_ns() - t_wall)
-        return forced
-
-    def _force_detach_session(self, session: Session, pmo_id: int,
-                              now_ns: int) -> None:
-        """Detach one expired holding on the session's behalf."""
-        pmo = self.lib.manager.get(pmo_id)
-        try:
-            self.lib.runtime.detach(session.entity_id, pmo, now_ns,
-                                    forced=True,
-                                    reason="session EW budget elapsed")
-        except TerpError:
-            # The pair may already be gone (engine eviction raced us);
-            # enforcement is idempotent.
-            pass
-        session.note_forced_detach(pmo_id, pmo.name, now_ns,
-                                   "session EW budget elapsed")
-        self._journal_detach(session, pmo_id, pmo.name, now_ns,
-                             forced=True,
-                             reason="session EW budget elapsed")
-        self.metrics.note_forced_detach()
-
-    # -- session journal hooks ---------------------------------------------
-
-    def _journal_session(self, session: Session, now_ns: int) -> None:
-        if self.session_journal is not None:
-            self.session_journal.record_session(
-                sid=session.session_id, user=session.user,
-                token=session.resume_token,
-                budget_ns=session.ew_budget_ns, at_ns=now_ns)
-
-    def _journal_attach(self, session: Session, pmo_id: int,
-                        name: str, now_ns: int) -> None:
-        if self.session_journal is not None:
-            self.session_journal.record_attach(
-                sid=session.session_id, pmo_id=pmo_id, pmo=name,
-                at_ns=now_ns)
-
-    def _journal_detach(self, session: Session, pmo_id: int,
-                        name: str, now_ns: int, *,
-                        forced: bool = False,
-                        reason: str = "") -> None:
-        if self.session_journal is not None:
-            self.session_journal.record_detach(
-                sid=session.session_id, pmo_id=pmo_id, pmo=name,
-                at_ns=now_ns, forced=forced, reason=reason)
-
-    def _journal_close(self, session: Session, now_ns: int) -> None:
-        if self.session_journal is not None:
-            self.session_journal.record_close(
-                sid=session.session_id, at_ns=now_ns)
-
-    def _release_session(self, session: Session, now_ns: int, *,
-                         reason: str) -> int:
-        """Detach everything a departing session still holds.
-
-        A graceful departure (``goodbye``, shutdown) closes windows as
-        ordinary detaches; an involuntary one (connection lost, an
-        injected mid-request crash) closes them *forced*, with the
-        reason on the audit timeline — the invariant checker insists
-        every forced close is attributed.
-        """
-        forced = reason not in ("goodbye", "shutdown")
-        released = self.lib.runtime.release_entity(
-            session.entity_id, now_ns, forced=forced, reason=reason)
-        for pmo_id, _ in released:
-            try:
-                name = self.lib.manager.get(pmo_id).name
-            except PmoError:
-                name = str(pmo_id)
-            if forced:
-                # Mark the pair forced so a *resumed* session's stale
-                # detach is the defined silent no-op, and queue the
-                # forced-detach event for its next response.
-                session.note_forced_detach(pmo_id, name, now_ns, reason)
-            else:
-                session.note_detach(pmo_id)
-            self._journal_detach(session, pmo_id, name, now_ns,
-                                 forced=forced, reason=reason)
-            if reason == "connection lost":
-                self.metrics.note_disconnect_detach()
-        session.attached_at.clear()
-        return len(released)
-
-    def _on_engine_forced_detach(self, pmo_id: Hashable,
-                                 thread_ids: Tuple[int, ...]) -> None:
-        """Arch-engine callback: eviction/sweep closed open pairs."""
-        try:
-            name = self.lib.manager.get(pmo_id).name
-        except PmoError:
-            name = str(pmo_id)
-        now = self.lib.clock_ns
-        for thread_id in thread_ids:
-            if self.obs.enabled:
-                self.obs.audit.record_detach(
-                    thread_id, pmo_id, name, now, forced=True,
-                    reason="arch engine forced detach")
-            session = self.registry.by_entity(thread_id)
-            if session is not None:
-                session.note_forced_detach(pmo_id, name, now,
-                                           "arch engine forced detach")
-                self._journal_detach(session, pmo_id, name, now,
-                                     forced=True,
-                                     reason="arch engine forced detach")
-                self.metrics.note_forced_detach()
+        return self.sweeper.run_sweep()
 
     # -- connection handling ---------------------------------------------------
 
@@ -607,11 +482,11 @@ class TerpService:
                 # lingers for a possible rebind.
                 with self.lib.lock:
                     now = self.lib.advance_to(self.now_ns())
-                    self._release_session(session, now,
+                    self.sessions.release(session, now,
                                           reason="connection lost")
                     session.unbind(now)
                 self.metrics.note_session_closed()
-                self._sessions_gauge.set(len(self.registry))
+                self.sessions.update_gauge()
             writer.close()
             try:
                 await writer.wait_closed()
@@ -626,12 +501,9 @@ class TerpService:
             return
         with self.lib.lock:
             now = self.lib.advance_to(self.now_ns())
-            self._release_session(session, now,
+            self.sessions.release(session, now,
                                   reason="session crashed (injected)")
-            self._journal_close(session, now)
-        self.registry.remove(session.session_id)
-        self.metrics.note_session_closed()
-        self._sessions_gauge.set(len(self.registry))
+            self.sessions.close_session(session, now)
 
     # -- dispatch --------------------------------------------------------------
 
@@ -756,28 +628,20 @@ class TerpService:
         negotiated = min(version, self.protocol_version)
         resume = args.get("resume")
         if resume is not None:
-            session = self._resume_session(int(resume),
-                                           str(args.get("token", "")))
+            session = self.sessions.resume_session(
+                int(resume), str(args.get("token", "")))
         else:
-            if self.max_sessions is not None and \
-                    len(self.registry) >= self.max_sessions:
-                # Bounded backpressure: the table is full *right now*;
-                # the kind is retryable, so well-behaved clients back
-                # off instead of hammering.
-                raise Busy(f"session table full "
-                           f"({self.max_sessions}); retry later")
             budget_us = args.get("ew_budget_us")
             budget_ns = None if budget_us is None else int(
                 float(budget_us) * 1_000)
-            session = self.registry.create(
+            session = self.sessions.open_session(
                 user=str(args.get("user", "root")),
-                ew_budget_ns=budget_ns)
-            self._journal_session(session, self.lib.clock_ns)
+                ew_budget_ns=budget_ns, at_ns=self.lib.clock_ns)
         conn.generation = session.bind()
         conn.session = session
         conn.version = negotiated
         self.metrics.note_session_opened()
-        self._sessions_gauge.set(len(self.registry))
+        self.sessions.update_gauge()
         return {"session": session.session_id,
                 "entity": session.entity_id,
                 "version": negotiated,
@@ -785,34 +649,12 @@ class TerpService:
                 "token": session.resume_token,
                 "resumed": resume is not None}
 
-    def _resume_session(self, session_id: int, token: str) -> Session:
-        """Rebind a lingering session after a connection drop.
-
-        Resume restores *identity* (entity id, replay cache, pending
-        events), never access: the drop already force-closed every
-        window, so a resumed session starts with nothing attached.
-        """
-        session = self.registry.find(session_id)
-        if session is None or session.closed:
-            raise TerpError(f"no session {session_id} to resume")
-        if not token or token != session.resume_token:
-            raise TerpError(f"bad resume token for session "
-                            f"{session_id}")
-        if session.bound:
-            raise TerpError(f"session {session_id} is still bound "
-                            "to a live connection")
-        self.metrics.note_session_resumed()
-        return session
-
     def _op_goodbye(self, conn: _Conn, args: Dict) -> Dict:
         session = conn.session
         assert session is not None
-        released = self._release_session(session, self.lib.clock_ns,
+        released = self.sessions.release(session, self.lib.clock_ns,
                                          reason="goodbye")
-        self._journal_close(session, self.lib.clock_ns)
-        self.registry.remove(session.session_id)
-        self.metrics.note_session_closed()
-        self._sessions_gauge.set(len(self.registry))
+        self.sessions.close_session(session, self.lib.clock_ns)
         return {"released": released}
 
     def _op_ping(self, conn: _Conn, args: Dict) -> Dict:
@@ -847,6 +689,14 @@ class TerpService:
             "audit": self.obs.audit.summary(),
             "trace": self.obs.tracer.stats(),
         }
+        if self.shard_index is not None:
+            out["shard"] = self.shard_index
+        if args.get("raw"):
+            # The full instrument registry (counters, gauges, and
+            # histograms *with buckets*): what the cluster router
+            # fans out for, so it can sum counters and merge latency
+            # buckets exactly instead of averaging percentiles.
+            out["registry"] = self.obs.registry.to_dict()
         if self.recovery_report is not None:
             out["recovery"] = self.recovery_report.to_dict()
         if conn.session is not None:
@@ -883,6 +733,7 @@ class TerpService:
         counters = self.lib.runtime.counters
         return self.obs.dump(extra={
             "service": self.metrics.to_dict(),
+            "shard": self.shard_index,
             "sessions": len(self.registry),
             "runtime": {
                 "attach_calls": counters.attach_calls,
@@ -951,7 +802,7 @@ class TerpService:
         if not result.ok:
             raise PmoError(f"attach failed: {result.decision.reason}")
         session.note_attach(pmo.pmo_id, now)
-        self._journal_attach(session, pmo.pmo_id, pmo.name, now)
+        self.sessions.journal_attach(session, pmo.pmo_id, pmo.name, now)
         self.metrics.note_attach()
         return {"outcome": result.decision.outcome.value,
                 "base_va": result.handle.base_va_at_attach,
@@ -970,8 +821,8 @@ class TerpService:
         decision = self.lib.runtime.detach(session.entity_id, pmo,
                                            self.lib.clock_ns)
         session.note_detach(pmo.pmo_id)
-        self._journal_detach(session, pmo.pmo_id, pmo.name,
-                             self.lib.clock_ns)
+        self.sessions.journal_detach(session, pmo.pmo_id, pmo.name,
+                                     self.lib.clock_ns)
         self.metrics.note_detach()
         return {"outcome": decision.outcome.value,
                 "reason": decision.reason}

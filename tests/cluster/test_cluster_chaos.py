@@ -1,0 +1,26 @@
+"""Cluster chaos: kill a shard mid-traffic, check I1-I6 everywhere.
+
+One seeded run (the same one CI's cluster-smoke executes): workers
+hammer the router, shard 0 is SIGKILLed and warm-restarted, and the
+exposure invariants must hold per shard *and* on the globally merged
+timeline, with the victim's forced detaches outage-attributed and the
+survivors untouched.
+"""
+
+from repro.faults.cluster_chaos import run_cluster_chaos
+
+
+def test_cluster_chaos_seed_42_two_shards():
+    result = run_cluster_chaos(
+        42, shards=2, workers=4, rounds=5,
+        session_ew_ns=400_000_000, sweep_period_ns=20_000_000)
+    assert result.ok, "\n" + result.describe()
+    assert result.requests_ok > 0
+    assert result.unexpected == []
+    assert result.victim_restarts >= 1
+    assert result.victim_outage_attributed
+    assert result.survivors_clean
+    for shard, report in result.per_shard.items():
+        assert report.ok, f"shard {shard}:\n{report.describe()}"
+    assert result.global_report is not None
+    assert result.global_report.ok, result.global_report.describe()

@@ -1,4 +1,15 @@
-"""Shared fixtures: a live terpd on an ephemeral TCP port."""
+"""Shared fixtures: a live terpd on an ephemeral TCP port.
+
+Set ``TERP_CLUSTER=N`` to run every test in this suite against an
+N-shard cluster behind a router instead of a single in-process
+daemon — the client-facing contract must be identical, so the same
+e2e suite is the cluster's conformance suite.  Each test gets a
+fresh cluster (exact-count assertions need per-test isolation).
+"""
+
+import os
+import time
+import types
 
 import pytest
 
@@ -9,6 +20,21 @@ from repro.service.server import ServiceThread, TerpService
 def terpd():
     """A running daemon with test-friendly timing: generous session
     budget (tests that need expiry build their own tighter service)."""
+    shards = int(os.environ.get("TERP_CLUSTER", "0"))
+    if shards > 0:
+        from repro.cluster import ClusterSupervisor
+        supervisor = ClusterSupervisor(
+            shards=shards, session_ew_ns=2_000_000_000,
+            sweep_period_ns=50_000_000)
+        supervisor.start()
+        # The shards sweep on their own; run_sweep just waits out a
+        # couple of periods for tests that nudge the sweeper by hand.
+        yield types.SimpleNamespace(
+            bound_port=supervisor.front_port,
+            run_sweep=lambda: time.sleep(0.12),
+            supervisor=supervisor)
+        supervisor.stop()
+        return
     thread = ServiceThread(TerpService(port=0,
                                        session_ew_ns=2_000_000_000,
                                        sweep_period_ns=50_000_000))
