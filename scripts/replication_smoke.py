@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Replication smoke for CI: primary + standby, kill, promote, I7.
+
+Wraps :func:`repro.faults.failover_chaos.run_failover_chaos` with the
+seed CI pins (42): a durable primary ships every committed journal
+batch semi-synchronously to a warm standby, writer threads commit
+monotone counters through retry clients, the primary is ``SIGKILL``-ed
+mid-group-commit, and the standby is promoted onto the primary's port
+with the supervisor's ``promote`` frame.  The run passes iff
+
+  1. every request either succeeded or failed with a *typed* error
+     (``ConnectionLost`` retry, ``RemoteError``) — nothing unexpected,
+  2. the promoted daemon's audit timeline — the merged pre/post-crash
+     history, rebuilt by replaying the mirrored session journal —
+     satisfies the exposure invariants I1-I6 with the restart's
+     outage allowance,
+  3. the promoted daemon carries the restart event and the
+     outage-attributed forced detaches for windows that straddled
+     the kill,
+  4. **I7 — zero acknowledged-write loss**: every writer's final
+     read-back from the promoted daemon is at least the highest
+     value whose ``psync`` the dead primary acknowledged.
+
+Exit status 0 iff all four hold.  Usage::
+
+    PYTHONPATH=src python scripts/replication_smoke.py [--seed N] [--out F]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.faults.failover_chaos import run_failover_chaos  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--writers", type=int, default=3)
+    parser.add_argument("--out", default=None,
+                        help="write the JSON verdict here as well")
+    args = parser.parse_args()
+
+    result = run_failover_chaos(args.seed, writers=args.writers)
+    print(result.describe())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, indent=2)
+            fh.write("\n")
+        print(f"verdict written to {args.out}")
+    print(f"\nreplication smoke: {'OK' if result.ok else 'FAIL'}")
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

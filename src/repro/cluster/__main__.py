@@ -77,6 +77,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write a JSON description of the running "
                              "cluster (front port, shard pids/ports) "
                              "to PATH once up")
+    parser.add_argument("--replicas", action="store_true",
+                        help="one warm standby per shard (requires "
+                             "--pool-dir): shards ship every committed "
+                             "journal batch semi-synchronously, and a "
+                             "dead shard is promoted from its standby "
+                             "with zero acknowledged-write loss "
+                             "instead of cold-restarting")
     parser.add_argument("--no-obs", action="store_true",
                         help="run shards with observability in no-op "
                              "mode")
@@ -100,7 +107,8 @@ def make_config(args: argparse.Namespace) -> ClusterConfig:
         seed=args.seed,
         obs_enabled=not args.no_obs,
         profile=args.profile,
-        quiet=args.quiet)
+        quiet=args.quiet,
+        replicas=args.replicas)
 
 
 def main(argv=None) -> int:

@@ -13,7 +13,17 @@ restarts whatever dies:
   (:mod:`repro.service.recovery`) with its exposure clock monotonic
   across the outage — windows that straddled the crash are charged,
   not forgiven;
-* a dead **router** restarts on the front port.
+* a dead **router** restarts on the front port;
+* with ``replicas=True`` (durable clusters only), every shard gets a
+  warm **standby** process (:class:`repro.replication.StandbyDaemon`)
+  that continuously applies the shard's shipped journal batches into
+  its own directory.  A dead shard is then *promoted-on-failure*: the
+  supervisor sends its standby a ``promote`` frame and the standby
+  comes up as the shard — on the same port, through the verbatim
+  warm-restart path, with zero acknowledged-write loss (the shipper
+  is semi-sync) — while a replacement standby is spawned into the old
+  directory so the chain continues.  Only if promotion fails does the
+  supervisor fall back to the cold same-directory restart.
 
 Multiple routers bind the same front port with ``SO_REUSEPORT`` so the
 kernel shards accepted connections across them — the cheap fast path
@@ -74,11 +84,19 @@ class ClusterConfig:
     #: per-child restart budget before the supervisor gives up on it
     max_restarts: int = 5
     monitor_period_s: float = 0.15
+    #: one warm standby per shard, promoted when the shard dies
+    #: (requires ``pool_dir``: only durable state can be shipped)
+    replicas: bool = False
 
     def shard_dir(self, index: int) -> Optional[str]:
         if self.pool_dir is None:
             return None
         return os.path.join(self.pool_dir, f"shard{index:02d}")
+
+    def standby_dir(self, index: int) -> Optional[str]:
+        if self.pool_dir is None:
+            return None
+        return os.path.join(self.pool_dir, f"standby{index:02d}")
 
 
 async def _child_serve(node: Any, report, quiet: bool,
@@ -126,30 +144,76 @@ def _run_child(amain, profile_path: Optional[str], report) -> None:
             profiler.dump_stats(profile_path)
 
 
+def _service_kwargs(config: ClusterConfig, index: int
+                    ) -> Dict[str, Any]:
+    """The TerpService constructor arguments shard ``index`` runs
+    with — shared verbatim with its standby, so a promoted standby is
+    configured exactly like the shard it replaces."""
+    return {
+        "host": config.host,
+        "ew_target_us": config.ew_target_us,
+        "session_ew_ns": config.session_ew_ns,
+        "sweep_period_ns": config.sweep_period_ns,
+        "session_linger_ns": config.session_linger_ns,
+        "cb_capacity": config.cb_capacity,
+        "seed": config.seed + index,
+        "obs_enabled": config.obs_enabled,
+        "commit_interval_us": config.commit_interval_us,
+        "shard_index": index,
+        "shard_count": config.shards,
+    }
+
+
 def _shard_main(config: ClusterConfig, index: int, port: int,
+                pool_dir: Optional[str], replicate_to: Optional[str],
                 report) -> None:
     """Child entry point: one terpd shard (module-level: picklable)."""
     from repro.service.server import TerpService
 
     async def amain() -> None:
         service = TerpService(
-            host=config.host, port=port,
-            ew_target_us=config.ew_target_us,
-            session_ew_ns=config.session_ew_ns,
-            sweep_period_ns=config.sweep_period_ns,
-            session_linger_ns=config.session_linger_ns,
-            cb_capacity=config.cb_capacity,
-            seed=config.seed + index,
-            obs_enabled=config.obs_enabled,
-            pool_dir=config.shard_dir(index),
-            commit_interval_us=config.commit_interval_us,
-            shard_index=index, shard_count=config.shards)
+            port=port, pool_dir=pool_dir, replicate_to=replicate_to,
+            **_service_kwargs(config, index))
         await _child_serve(service, report, config.quiet,
                            f"shard {index}")
 
     profile = (f"{config.profile}.shard{index}"
                if config.profile else None)
     _run_child(amain, profile, report)
+
+
+def _standby_main(config: ClusterConfig, index: int, port: int,
+                  pool_dir: str, report) -> None:
+    """Child entry point: one warm standby (module-level: picklable).
+
+    The directory is wiped on startup: a standby's content is nothing
+    but a mirror, and the shipper's bootstrap reconstructs it in full
+    on connect — starting clean prevents a stale generation's files
+    (e.g. a since-destroyed PMO) from leaking into a later promotion.
+    """
+    import shutil
+
+    from repro.replication.applier import StandbyDaemon
+
+    if os.path.isdir(pool_dir):
+        shutil.rmtree(pool_dir)
+    daemon = StandbyDaemon(
+        pool_dir, host=config.host, port=port,
+        service_kwargs=_service_kwargs(config, index),
+        quiet=config.quiet)
+    bound = daemon.start()
+    report.send({"port": bound})
+    report.close()
+    if not config.quiet:
+        print(f"terpd standby {index} applying on port {bound}",
+              flush=True)
+    stop = threading.Event()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(sig, lambda *_: stop.set())
+    try:
+        stop.wait()
+    finally:
+        daemon.stop()
 
 
 def _router_main(config: ClusterConfig, index: int, port: int,
@@ -202,6 +266,9 @@ class ClusterSupervisor:
             raise ValueError("need at least one shard")
         if config.routers < 1:
             raise ValueError("need at least one router")
+        if config.replicas and config.pool_dir is None:
+            raise ValueError("replicas need a pool_dir: only durable "
+                             "state can be shipped to a standby")
         self.config = config
         try:
             self._ctx = multiprocessing.get_context("fork")
@@ -211,6 +278,17 @@ class ClusterSupervisor:
                         for i in range(config.shards)]
         self._routers = [_Child("router", i)
                          for i in range(config.routers)]
+        self._standbys = [_Child("standby", i)
+                          for i in range(config.shards)] \
+            if config.replicas else []
+        #: current pool directory per shard / per standby — promotion
+        #: swaps a pair, so respawns always land on live state.
+        self._shard_dirs = [config.shard_dir(i)
+                            for i in range(config.shards)]
+        self._standby_dirs = [config.standby_dir(i)
+                              for i in range(config.shards)]
+        #: lifetime count of standby promotions (chaos assertions).
+        self.promotions = 0
         self._monitor: Optional[threading.Thread] = None
         self._stopping = threading.Event()
         self._lock = threading.Lock()
@@ -242,6 +320,11 @@ class ClusterSupervisor:
             "routers": [{"index": c.index, "port": c.port,
                          "pid": c.process.pid if c.process else None}
                         for c in self._routers],
+            "standbys": [{"index": c.index, "port": c.port,
+                          "pid": c.process.pid if c.process else None,
+                          "restarts": c.restarts}
+                         for c in self._standbys],
+            "promotions": self.promotions,
         }
 
     def write_state_file(self, path: str) -> None:
@@ -254,6 +337,10 @@ class ClusterSupervisor:
     def start(self) -> None:
         if self.config.pool_dir is not None:
             os.makedirs(self.config.pool_dir, exist_ok=True)
+        for child in self._standbys:
+            # Standbys bind first so each shard's shipper finds its
+            # target on the very first dial (nothing unreplicated).
+            self._spawn_standby(child, port=0)
         for child in self._shards:
             self._spawn_shard(child, port=0)
         shard_addrs = [(self.config.host, c.port or 0)
@@ -279,8 +366,9 @@ class ClusterSupervisor:
         deadline = time.monotonic() + timeout_s
         # Routers go first and fully: they close their upstream
         # connections on the way down, so the shards then shut down
-        # with no connections left to tear mid-read.
-        for group in (self._routers, self._shards):
+        # with no connections left to tear mid-read.  Standbys go
+        # last — a shard's shutdown drain still ships to them.
+        for group in (self._routers, self._shards, self._standbys):
             for child in group:
                 process = child.process
                 if process is not None and process.is_alive():
@@ -362,8 +450,19 @@ class ClusterSupervisor:
         child.process = process
 
     def _spawn_shard(self, child: _Child, *, port: int) -> None:
+        standby = self._standbys[child.index] \
+            if self._standbys else None
+        replicate_to = (f"{self.config.host}:{standby.port}"
+                        if standby is not None and standby.port
+                        else None)
         self._spawn(child, _shard_main,
-                    (self.config, child.index, port))
+                    (self.config, child.index, port,
+                     self._shard_dirs[child.index], replicate_to))
+
+    def _spawn_standby(self, child: _Child, *, port: int) -> None:
+        self._spawn(child, _standby_main,
+                    (self.config, child.index, port,
+                     self._standby_dirs[child.index]))
 
     def _spawn_router(self, child: _Child, *, port: int,
                       shard_addrs: List[Tuple[str, int]],
@@ -381,12 +480,23 @@ class ClusterSupervisor:
                     self._revive(child)
                 for child in self._routers:
                     self._revive(child)
+                for child in self._standbys:
+                    self._revive(child)
 
     def _revive(self, child: _Child) -> None:
         process = child.process
-        if process is None or process.is_alive() or child.given_up:
+        if child.given_up:
             return
-        process.join(timeout=0)
+        if process is None:
+            # Only a standby consumed by a promotion (its process
+            # became the shard) legitimately has no process; respawn
+            # it so the promoted shard regains a failover target.
+            if child.kind != "standby":
+                return
+        elif process.is_alive():
+            return
+        else:
+            process.join(timeout=0)
         if child.restarts >= self.config.max_restarts:
             child.given_up = True
             if not self.config.quiet:
@@ -397,9 +507,15 @@ class ClusterSupervisor:
         child.restarts += 1
         try:
             if child.kind == "shard":
+                if self._standbys and self._promote_standby(child):
+                    return
                 # Same learned port, same store directory: routing
                 # stays valid and recovery finds the journal.
                 self._spawn_shard(child, port=child.port or 0)
+            elif child.kind == "standby":
+                # Same replication port: the shard's shipper dialer
+                # reconnects and re-bootstraps the wiped mirror.
+                self._spawn_standby(child, port=child.port or 0)
             else:
                 shard_addrs = [(self.config.host, c.port or 0)
                                for c in self._shards]
@@ -411,3 +527,79 @@ class ClusterSupervisor:
             # Spawn failed (port still draining?); next monitor tick
             # retries until the restart budget runs out.
             pass
+
+    def _promote_standby(self, shard: _Child) -> bool:
+        """Promote a dead shard's warm standby onto the shard's port.
+
+        On success the standby *process* becomes the shard (the
+        supervisor re-points its bookkeeping), the shard's old
+        directory is recycled as the replacement standby's mirror,
+        and the promoted service ships to that replacement — so the
+        failover chain survives repeated deaths.  Returns False (cold
+        restart fallback) if the standby is dead or unreachable.
+        """
+        import socket as socketlib
+
+        from repro.replication.wire import recv_msg, send_msg
+
+        index = shard.index
+        standby = self._standbys[index]
+        if standby.process is None or not standby.process.is_alive():
+            return False
+        # Replacement standby first (into the dead shard's old
+        # directory, wiped at its startup), so the promote frame can
+        # point the promoted service's shipper at it.
+        old_shard_dir = self._shard_dirs[index]
+        replacement = _Child("standby", index)
+        self._standby_dirs[index], self._shard_dirs[index] = \
+            old_shard_dir, self._standby_dirs[index]
+        try:
+            self._spawn_standby(replacement, port=0)
+            replicate_to: Optional[str] = \
+                f"{self.config.host}:{replacement.port}"
+        except RuntimeError:
+            replacement = None
+            replicate_to = None
+        try:
+            with socketlib.create_connection(
+                    (self.config.host, standby.port or 0),
+                    timeout=5.0) as sock:
+                sock.settimeout(_STARTUP_TIMEOUT_S)
+                overrides: Dict[str, Any] = {}
+                if replicate_to is not None:
+                    overrides["replicate_to"] = replicate_to
+                send_msg(sock, {"t": "promote",
+                                "port": shard.port or 0,
+                                "service": overrides})
+                got = recv_msg(sock)
+                if got is None or got[0].get("t") != "promoted":
+                    raise OSError("standby did not confirm promotion")
+        except Exception:
+            # Promotion failed; fall back to the cold restart path.
+            if replacement is not None:
+                # The replacement already wiped the shard's old
+                # directory, so the swap must STAND: the shard cold-
+                # restarts from the standby's mirror (which holds
+                # every acked write), and the old standby — which
+                # would race it on that directory — is retired.
+                if standby.process is not None and \
+                        standby.process.is_alive():
+                    standby.process.terminate()
+                self._standbys[index] = replacement
+            else:
+                # Nothing was wiped: undo the swap, keep the old
+                # standby, restart the shard on its own directory.
+                self._standby_dirs[index], self._shard_dirs[index] = \
+                    self._shard_dirs[index], self._standby_dirs[index]
+            return False
+        # The standby process now runs the shard on the shard's port.
+        shard.process = standby.process
+        if replacement is not None:
+            self._standbys[index] = replacement
+        else:
+            standby.process = None    # consumed; next tick respawns
+        self.promotions += 1
+        if not self.config.quiet:
+            print(f"terpd shard {index} promoted from standby "
+                  f"(promotion #{self.promotions})", flush=True)
+        return True

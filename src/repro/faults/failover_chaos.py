@@ -1,0 +1,491 @@
+"""Failover chaos: SIGKILL a replicated primary, promote, check I1-I7.
+
+``run_failover_chaos(seed)`` is the zero-acknowledged-write-loss
+property quantified over seeds:
+
+1. stand up a **real two-process pair** — a durable primary
+   (``python -m repro.service --replicate-to``) shipping every
+   committed journal batch semi-synchronously to a warm standby
+   (``python -m repro.replication``) — with seed-drawn group-commit
+   window and kill timing;
+2. drive writer threads through retry clients: each writer commits a
+   strictly increasing counter via ``write_u64`` + ``psync`` and
+   tallies the highest value whose psync was *acknowledged*;
+3. SIGKILL the primary mid-traffic (group commits are in flight, so
+   the kill lands inside the commit/ship window), wait a seed-drawn
+   outage, and promote the standby onto the primary's port with a
+   ``promote`` frame — exactly what the cluster supervisor sends;
+4. writers ride out the outage through typed :class:`ConnectionLost`
+   retry, resume against the promoted daemon, and keep committing;
+5. the verdict replays the promoted daemon's audit timeline — the
+   *merged* pre/post-crash history, because promotion replays the
+   mirrored session journal with original timestamps — against
+   invariants I1-I6 (:func:`repro.faults.invariants.check_events`),
+   and checks **I7**: every writer's final read-back from the
+   promoted daemon must be at least its highest acknowledged value
+   (:func:`repro.faults.invariants.check_acked_writes`).
+
+The promoted daemon must carry a restart event and outage-attributed
+forced detaches for the windows that straddled the kill; every client
+request must be acknowledged or typed-failed.
+
+Replay any failure with ``python -m repro.faults.failover_chaos
+--seed N``; run a matrix with ``--matrix 40``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import re
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, List, Optional, Tuple
+
+from repro.faults.chaos import SCHEDULING_SLACK_NS, _Tally
+from repro.faults.invariants import (
+    InvariantReport, check_acked_writes, check_events)
+from repro.obs.audit import RESTART
+from repro.replication.wire import recv_msg, send_msg
+from repro.service.client import SyncTerpClient
+from repro.service.retry import RetryPolicy
+
+#: Generous per-session budget: two subprocesses plus writer threads
+#: share the host, and the outage itself must not exhaust a window's
+#: allowance before recovery attributes it.
+DEFAULT_EW_NS = 400_000_000
+DEFAULT_SWEEP_NS = 20_000_000
+
+_STANDBY_RE = re.compile(r"standby listening on [^:]+:(\d+)")
+_PRIMARY_RE = re.compile(r"terpd serving on tcp://[^:]+:(\d+)")
+_STARTUP_TIMEOUT_S = 30.0
+
+
+def _retry(seed: int, idx: int) -> RetryPolicy:
+    """Backoff wide enough to ride out kill -> promote, not just a
+    dropped frame."""
+    return RetryPolicy(max_retries=10, base_delay_s=0.01,
+                       multiplier=2.0, max_delay_s=0.25,
+                       seed=seed * 263 + idx)
+
+
+@dataclass
+class FailoverChaosResult:
+    """The verdict of one seeded kill-the-primary run."""
+
+    seed: int
+    report: InvariantReport = field(default_factory=InvariantReport)
+    i7_report: InvariantReport = field(
+        default_factory=InvariantReport)
+    acked: Dict[int, int] = field(default_factory=dict)
+    observed: Dict[int, Optional[int]] = field(default_factory=dict)
+    requests_ok: int = 0
+    requests_failed: int = 0
+    failures_by_kind: Dict[str, int] = field(default_factory=dict)
+    promoted: bool = False
+    restart_seen: bool = False
+    outage_attributed: bool = False
+    acks_before_kill: int = 0
+    acks_after_promote: int = 0
+    repl_status: Dict[str, Any] = field(default_factory=dict)
+    slack_ns: int = 0
+    downtime_ns: int = 0
+    unexpected: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (self.report.ok and self.i7_report.ok
+                and not self.unexpected and self.promoted
+                and self.restart_seen and self.outage_attributed
+                and self.acks_before_kill > 0
+                and self.acks_after_promote > 0)
+
+    def describe(self) -> str:
+        lines = [
+            f"failover chaos seed {self.seed}: "
+            f"{'OK' if self.ok else 'FAILED'}",
+            f"  requests: {self.requests_ok} ok, "
+            f"{self.requests_failed} typed-failed "
+            f"({self.failures_by_kind})",
+            f"  acks: {self.acks_before_kill} before kill, "
+            f"{self.acks_after_promote} after promote; promoted: "
+            f"{self.promoted}, restart event: {self.restart_seen}, "
+            f"outage attributed: {self.outage_attributed}",
+            f"  I7 acked-vs-observed: {self.i7_report.describe()}",
+            f"  I1-I6 merged timeline: {self.report.describe()}",
+        ]
+        if self.unexpected:
+            lines.append(f"  UNEXPECTED: {self.unexpected}")
+        if not self.ok:
+            lines.append("  replay: python -m "
+                         "repro.faults.failover_chaos "
+                         f"--seed {self.seed}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "ok": self.ok,
+            "requests_ok": self.requests_ok,
+            "requests_failed": self.requests_failed,
+            "failures_by_kind": self.failures_by_kind,
+            "acked": {str(k): v for k, v in self.acked.items()},
+            "observed": {str(k): v
+                         for k, v in self.observed.items()},
+            "acks_before_kill": self.acks_before_kill,
+            "acks_after_promote": self.acks_after_promote,
+            "promoted": self.promoted,
+            "restart_seen": self.restart_seen,
+            "outage_attributed": self.outage_attributed,
+            "repl_status": self.repl_status,
+            "slack_ns": self.slack_ns,
+            "downtime_ns": self.downtime_ns,
+            "unexpected": self.unexpected,
+            "violations": [str(v) for v in self.report.violations],
+            "i7_violations": [str(v)
+                              for v in self.i7_report.violations],
+        }
+
+
+class _Proc:
+    """One captured subprocess: spawn, match a startup line, drain."""
+
+    def __init__(self, argv: List[str]) -> None:
+        self.proc = subprocess.Popen(
+            argv, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True,
+            env={**os.environ, "PYTHONUNBUFFERED": "1"})
+        self.lines: List[str] = []
+        self._drain: Optional[threading.Thread] = None
+
+    def expect(self, pattern: "re.Pattern[str]") -> str:
+        """Block until a stdout line matches; then drain in the
+        background.  Returns the first capture group."""
+        deadline = time.monotonic() + _STARTUP_TIMEOUT_S
+        stream: IO[str] = self.proc.stdout  # type: ignore[assignment]
+        while time.monotonic() < deadline:
+            line = stream.readline()
+            if not line:
+                raise RuntimeError(
+                    f"process exited during startup "
+                    f"(rc={self.proc.poll()}): "
+                    f"{' '.join(self.lines[-5:])}")
+            self.lines.append(line.rstrip())
+            match = pattern.search(line)
+            if match:
+                self._drain = threading.Thread(
+                    target=self._drain_loop, args=(stream,),
+                    daemon=True)
+                self._drain.start()
+                return match.group(1)
+        raise RuntimeError("startup line never appeared: "
+                           f"{' '.join(self.lines[-5:])}")
+
+    def _drain_loop(self, stream: IO[str]) -> None:
+        for line in stream:
+            self.lines.append(line.rstrip())
+            del self.lines[:-50]
+
+    def sigkill(self) -> None:
+        os.kill(self.proc.pid, signal.SIGKILL)
+        self.proc.wait(timeout=10.0)
+
+    def stop(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait(timeout=5.0)
+
+
+def _writer(idx: int, port: int, seed: int, name: str, oid: Any,
+            tally: _Tally, acked: Dict[int, int],
+            acked_lock: threading.Lock, killed: threading.Event,
+            post_acks: List[int], stop: threading.Event) -> None:
+    client = SyncTerpClient(port=port, user=f"fworker{idx}",
+                            retry=_retry(seed, idx))
+    if tally.attempt(client.connect) is None:
+        return
+    tally.attempt(lambda: client.attach(name))
+    value = idx * 1_000_000
+    while not stop.is_set():
+        value += 1
+        # write_u64/psync return None/0 on success, so wrap them in
+        # a sentinel tuple to tell success from a typed failure.
+        if tally.attempt(
+                lambda: (client.write_u64(oid, value), True)) is None:
+            # Forced-detach across the failover (or a dead window):
+            # re-attach and resume the counter where it stood.
+            tally.attempt(lambda: client.attach(name))
+            value -= 1
+            continue
+        if tally.attempt(
+                lambda: (client.psync(name), True)) is not None:
+            with acked_lock:
+                acked[idx] = value
+                if killed.is_set():
+                    post_acks[idx] += 1
+    tally.attempt(client.goodbye)
+    client.close()
+
+
+def _promote(host: str, repl_port: int, port: int) -> int:
+    """Send the supervisor's promote frame; return the serving port."""
+    with socket.create_connection((host, repl_port),
+                                  timeout=10.0) as sock:
+        sock.settimeout(_STARTUP_TIMEOUT_S)
+        send_msg(sock, {"t": "promote", "port": port, "service": {}})
+        got = recv_msg(sock)
+        if got is None or got[0].get("t") != "promoted":
+            raise RuntimeError("standby did not confirm promotion")
+        return int(got[0]["port"])
+
+
+def _audit(host: str, port: int) -> Dict[str, Any]:
+    with SyncTerpClient(host=host, port=port) as direct:
+        trace = direct.call("trace", limit=65536)
+        metrics = direct.call("metrics")
+    return {"events": trace["audit"],
+            "open_windows": trace["open_windows"],
+            "summary": metrics["audit"]}
+
+
+def run_failover_chaos(seed: int, *, writers: int = 3,
+                       session_ew_ns: int = DEFAULT_EW_NS,
+                       sweep_period_ns: int = DEFAULT_SWEEP_NS,
+                       host: str = "127.0.0.1"
+                       ) -> FailoverChaosResult:
+    """One seeded kill-the-primary run; returns the full verdict."""
+    rng = random.Random(seed ^ 0xFA110)
+    result = FailoverChaosResult(seed=seed)
+    root = tempfile.mkdtemp(prefix="terp-failover-chaos-")
+    primary_dir = os.path.join(root, "primary")
+    standby_dir = os.path.join(root, "standby")
+    # A nonzero, seed-drawn group-commit window keeps commits (and
+    # the ship that follows each fsync) in flight when the kill
+    # lands, so the SIGKILL genuinely interrupts mid-group-commit.
+    commit_us = rng.choice([200, 500, 1000, 2000, 4000])
+    name = "failover"
+    standby: Optional[_Proc] = None
+    primary: Optional[_Proc] = None
+    stop = threading.Event()
+    killed = threading.Event()
+    acked: Dict[int, int] = {}
+    acked_lock = threading.Lock()
+    post_acks = [0] * writers
+    tallies = [_Tally() for _ in range(writers)]
+    threads: List[threading.Thread] = []
+    try:
+        standby = _Proc([
+            sys.executable, "-m", "repro.replication",
+            "--pool-dir", standby_dir, "--host", host,
+            "--listen-port", "0",
+            "--session-ew-ms", str(session_ew_ns / 1e6),
+            "--sweep-period-ms", str(sweep_period_ns / 1e6),
+            "--resume-linger-ms", "10000",
+            "--seed", str(seed)])
+        repl_port = int(standby.expect(_STANDBY_RE))
+        primary = _Proc([
+            sys.executable, "-m", "repro.service",
+            "--host", host, "--port", "0",
+            "--pool-dir", primary_dir,
+            "--replicate-to", f"{host}:{repl_port}",
+            "--session-ew-ms", str(session_ew_ns / 1e6),
+            "--sweep-period-ms", str(sweep_period_ns / 1e6),
+            "--resume-linger-ms", "10000",
+            "--commit-interval-us", str(commit_us),
+            "--seed", str(seed)])
+        port = int(primary.expect(_PRIMARY_RE))
+        with SyncTerpClient(host=host, port=port,
+                            user="admin") as admin:
+            admin.create(name, 1 << 20, mode=0o666)
+            oids = [admin.pmalloc(name, 16) for _ in range(writers)]
+        threads = [
+            threading.Thread(
+                target=_writer, name=f"failover-w{i}",
+                args=(i, port, seed, name, oids[i], tallies[i],
+                      acked, acked_lock, killed, post_acks, stop))
+            for i in range(writers)]
+        for thread in threads:
+            thread.start()
+        # Let acked traffic build, then pull the plug mid-commit.
+        time.sleep(rng.uniform(0.10, 0.35))
+        with acked_lock:
+            result.acks_before_kill = len(acked)
+        primary.sigkill()
+        killed.set()
+        downtime_s = rng.uniform(0.05, 0.20)
+        result.downtime_ns = int(downtime_s * 1e9)
+        time.sleep(downtime_s)
+        promoted_port = _promote(host, repl_port, port)
+        result.promoted = (promoted_port == port)
+        if not result.promoted:
+            result.unexpected.append(
+                f"promoted onto {promoted_port}, wanted {port}")
+        # Writers must commit against the promoted daemon before the
+        # run counts: wait until every writer lands post-kill acks.
+        deadline = time.monotonic() + 20.0
+        while time.monotonic() < deadline:
+            if all(n >= 3 for n in post_acks):
+                break
+            time.sleep(0.02)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        for thread in threads:
+            if thread.is_alive():
+                result.unexpected.append(
+                    f"writer {thread.name} hung past deadline")
+        result.acks_after_promote = sum(post_acks)
+        # I7 ground truth: what the promoted daemon serves back.
+        with SyncTerpClient(host=host, port=port,
+                            user="freader") as reader:
+            reader.attach(name, access="r")
+            for idx in range(writers):
+                try:
+                    result.observed[idx] = reader.read_u64(oids[idx])
+                except Exception:     # noqa: BLE001 — verdict below
+                    result.observed[idx] = None
+            reader.detach(name)
+            result.repl_status = reader.call("repl_status")
+        # Drain: let the sweeper close what the writers left open,
+        # then photograph the merged (journal-replayed) timeline.
+        audit: Dict[str, Any] = {}
+        drain_deadline = time.monotonic() + 10.0
+        while time.monotonic() < drain_deadline:
+            audit = _audit(host, port)
+            if not audit["open_windows"]:
+                break
+            time.sleep(sweep_period_ns / 1e9 * 2)
+    except Exception as exc:          # noqa: BLE001 — verdict, not crash
+        result.unexpected.append(
+            f"harness: {type(exc).__name__}: {exc}")
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        return result
+    finally:
+        for proc in (primary, standby):
+            if proc is not None:
+                proc.stop()
+        shutil.rmtree(root, ignore_errors=True)
+
+    with acked_lock:
+        result.acked = dict(acked)
+    result.i7_report = check_acked_writes(result.observed,
+                                          result.acked)
+    events = audit["events"]
+    result.restart_seen = any(
+        e.get("kind") == RESTART for e in events)
+    result.outage_attributed = any(
+        e.get("kind") == "forced-detach"
+        and ("outage" in str(e.get("reason", ""))
+             or "restart" in str(e.get("reason", "")))
+        for e in events)
+    # The restart event itself grants the outage allowance; slack
+    # covers sweeper cadence and host scheduling only.
+    slack_ns = 6 * sweep_period_ns + SCHEDULING_SLACK_NS
+    result.slack_ns = slack_ns
+    summary = audit["summary"]
+    per_pmo = summary if summary.get("events", 0) <= len(events) \
+        else None
+    result.report = check_events(
+        events, ew_budget_ns=session_ew_ns, slack_ns=slack_ns,
+        summary=per_pmo, open_windows=audit["open_windows"])
+    for tally in tallies:
+        result.requests_ok += tally.ok
+        result.requests_failed += tally.failed
+        result.unexpected.extend(tally.unexpected)
+        for kind, count in tally.by_kind.items():
+            result.failures_by_kind[kind] = \
+                result.failures_by_kind.get(kind, 0) + count
+    return result
+
+
+def run_matrix(seeds: List[int], *, jobs: int = 4
+               ) -> Tuple[List[FailoverChaosResult], bool]:
+    """Run a seed matrix with bounded parallelism; returns
+    (results ordered by seed, all-ok)."""
+    results: Dict[int, FailoverChaosResult] = {}
+    lock = threading.Lock()
+    pending = list(seeds)
+
+    def drain() -> None:
+        while True:
+            with lock:
+                if not pending:
+                    return
+                seed = pending.pop(0)
+            verdict = run_failover_chaos(seed)
+            with lock:
+                results[seed] = verdict
+            print(verdict.describe(), flush=True)
+
+    pool = [threading.Thread(target=drain, daemon=True)
+            for _ in range(max(1, jobs))]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    ordered = [results[s] for s in seeds if s in results]
+    return ordered, all(r.ok for r in ordered) and \
+        len(ordered) == len(seeds)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults.failover_chaos",
+        description="SIGKILL a replicated terpd primary mid-group-"
+                    "commit, promote its standby, and exit 0 iff "
+                    "invariants I1-I7 held (I7: zero acknowledged-"
+                    "write loss).")
+    parser.add_argument("--seed", default="random",
+                        help="integer seed, or 'random' (default)")
+    parser.add_argument("--writers", type=int, default=3)
+    parser.add_argument("--matrix", type=int, default=None,
+                        metavar="N",
+                        help="run seeds 0..N-1 instead of one seed")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="matrix parallelism "
+                             "(default: %(default)s)")
+    parser.add_argument("--out", default=None,
+                        help="write the full verdict to this JSON "
+                             "file")
+    args = parser.parse_args(argv)
+    if args.matrix is not None:
+        results, ok = run_matrix(list(range(args.matrix)),
+                                 jobs=args.jobs)
+        print(f"failover chaos matrix: {sum(r.ok for r in results)}"
+              f"/{args.matrix} seeds OK")
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                json.dump([r.to_dict() for r in results], fh,
+                          indent=2)
+            print(f"verdicts written to {args.out}")
+        return 0 if ok else 1
+    if args.seed == "random":
+        seed = int.from_bytes(os.urandom(4), "big")
+    else:
+        seed = int(args.seed)
+    result = run_failover_chaos(seed, writers=args.writers)
+    print(result.describe())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, indent=2)
+        print(f"verdict written to {args.out}")
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,13 @@ I6  **exposure bounded across restart** — a ``restart`` event marks a
     but in exchange every such window must be closed *forced* within
     the slack after the restart instant: recovery may never hand a
     pre-crash window back to its holder.
+I7  **zero acknowledged-write loss** — every write whose ``psync``
+    the client saw acked before the primary died is present on the
+    promoted standby.  Checked by :func:`check_acked_writes` over
+    per-writer monotone counters: the value read back after failover
+    must be at least the last value whose durability ack the writer
+    received (a *later*, never-acked write surviving is allowed —
+    only losing an acked one is a violation).
 
 ``check_events`` works on a plain event list (synthetic timelines in
 tests); ``check_timeline`` pulls events, summary, and open windows
@@ -45,7 +52,7 @@ from repro.obs.audit import (
     ATTACH, DETACH, FORCED_DETACH, RESTART, AuditTimeline)
 
 __all__ = ["Violation", "InvariantReport", "check_events",
-           "check_timeline"]
+           "check_timeline", "check_acked_writes"]
 
 
 @dataclass(frozen=True)
@@ -303,4 +310,38 @@ def check_timeline(audit: AuditTimeline, *,
             events, ew_budget_ns=ew_budget_ns, slack_ns=slack_ns,
             summary=audit.summary(),
             open_windows=audit.open_windows() if at_end else None)
+    return report
+
+
+def check_acked_writes(observed: Dict[Hashable, Optional[int]],
+                       acked: Dict[Hashable, int],
+                       ) -> InvariantReport:
+    """Invariant I7: zero acknowledged-write loss across failover.
+
+    ``acked``     per writer, the *last value* whose ``psync`` ack the
+                  client received before the primary died.  Writers
+                  write monotonically increasing values, so one
+                  integer summarises everything durably promised.
+    ``observed``  per writer, the value read back from the promoted
+                  standby (``None``: the location is gone entirely).
+
+    The promoted standby may legitimately hold *more* than was acked
+    (a later write whose ack never reached the client still committed
+    and shipped) — I7 only forbids holding less.
+    """
+    report = InvariantReport(pairing_checked=False)
+    for writer, promised in sorted(acked.items(), key=str):
+        report.events_checked += 1
+        value = observed.get(writer)
+        if value is None:
+            report.violations.append(Violation(
+                "acked-write-loss",
+                f"writer {writer!r}: value {promised} was acked "
+                f"durable, but the location is missing after "
+                f"failover"))
+        elif value < promised:
+            report.violations.append(Violation(
+                "acked-write-loss",
+                f"writer {writer!r}: last acked value {promised}, "
+                f"but the promoted standby reads back {value}"))
     return report

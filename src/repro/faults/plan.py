@@ -67,6 +67,8 @@ SITES = (
     "server.session_crash",
     "store.torn_page",
     "store.bit_rot",
+    "store.commit_stall",
+    "repl.ship_stall",
 )
 
 

@@ -248,6 +248,14 @@ class GroupCommitter:
                                               List[Tuple[int, bytes]],
                                               CommitTicket]]) -> None:
         self.batches += 1
+        faults = self._store.faults
+        if faults is not None:
+            rule = faults.fire("store.commit_stall")
+            if rule is not None and rule.delay_ns > 0:
+                # The flusher stalls with snapshots staged: widens the
+                # mid-group-commit window chaos kills land in, and
+                # forces concurrent psyncs to merge deterministically.
+                time.sleep(rule.delay_ns / 1e9)
         # Merge same-PMO snapshots in submit order: later snapshots of
         # a page supersede earlier ones within the combined journal.
         groups: Dict[int, Tuple["_StoreEntry", Dict[int, bytes],
@@ -269,6 +277,19 @@ class GroupCommitter:
                 for ticket, _ in tickets:
                     ticket.fail(exc)
             else:
+                shipper = self._store.shipper
+                if shipper is not None:
+                    # Post-fsync ship hook: the batch is locally
+                    # durable; hand it to the replication shipper
+                    # *before* the tickets retire, so a psync the
+                    # client sees acked is also applied (and acked) by
+                    # a connected standby — the zero-acknowledged-
+                    # write-loss half of invariant I7.  The shipper
+                    # never raises: a dead or absent standby degrades
+                    # replication, never local durability.
+                    shipper.ship_commit(entry.pmo.name,
+                                        entry.pmo.pmo_id,
+                                        entry.flush_seq, pages)
                 for ticket, count in tickets:
                     ticket.complete(count)
 
@@ -356,6 +377,10 @@ class PmoStore:
         #: always ``_lock`` before ``_io_lock``; the flusher takes
         #: only ``_io_lock``.
         self._io_lock = threading.Lock()
+        #: optional :class:`repro.replication.shipper.JournalShipper`:
+        #: when set, every committed group-commit batch (and every
+        #: register/destroy) is handed to it post-fsync.
+        self.shipper: Optional[Any] = None
         self.committer = GroupCommitter(
             self, interval_us=commit_interval_us,
             max_batch=commit_max_batch)
@@ -400,6 +425,9 @@ class PmoStore:
                     if self.fsync:
                         fh.flush()
                         os.fsync(fh.fileno())
+            if self.shipper is not None:
+                self.shipper.ship_header(pmo.name,
+                                         self._header_bytes(pmo))
 
     def unregister(self, name: str) -> None:
         with self._lock:
@@ -415,6 +443,8 @@ class PmoStore:
             with self._io_lock:
                 self.path_for(name).unlink(missing_ok=True)
                 self.journal_path_for(name).unlink(missing_ok=True)
+            if self.shipper is not None:
+                self.shipper.ship_destroy(name)
 
     def registered(self) -> List[str]:
         with self._lock:
@@ -717,6 +747,45 @@ class PmoStore:
                 if marker == PAGE_MARKER:
                     present.append(index)
             return present
+
+    def committed_state(self, name: str
+                        ) -> Tuple[bytes, int, List[Tuple[int, bytes]]]:
+        """One PMO's durable state: ``(header, flush_seq, pages)``.
+
+        Reads the *on-media* bytes (home slots overlaid with any
+        retained journal batch), never the resident copy — exactly
+        what a crash right now would recover, which is exactly what a
+        replication bootstrap must ship.  Pages whose marker is absent
+        or whose CRC fails are skipped (scrub owns those).
+        """
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                raise PmoError(f"PMO {name!r} is not registered")
+            flush_seq = entry.flush_seq
+            with self._io_lock:
+                raw = entry.path.read_bytes()
+                journal = self._journal_pages(entry.journal_path)
+        header = bytes(raw[:HEADER_SPAN]).ljust(HEADER_SPAN, b"\x00")
+        count = max(0, (len(raw) - HEADER_SPAN) + SLOT_SIZE - 1) \
+            // SLOT_SIZE
+        view = memoryview(raw)
+        pages: Dict[int, bytes] = {}
+        for index in range(count):
+            base = HEADER_SPAN + index * SLOT_SIZE
+            tail = base + PAGE_SIZE
+            if tail + TRAILER.size > len(raw):
+                continue
+            crc, marker = TRAILER.unpack_from(view, tail)
+            if marker != PAGE_MARKER:
+                continue
+            page = bytes(view[base:tail])
+            if _page_crc(page) != crc:
+                continue
+            pages[index] = page
+        if journal:
+            pages.update(journal)
+        return header, flush_seq, sorted(pages.items())
 
     def scrub(self, max_pages: int = SCRUB_PAGES_PER_PASS
               ) -> Dict[str, int]:

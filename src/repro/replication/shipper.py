@@ -1,0 +1,393 @@
+"""The primary's half of journal shipping: :class:`JournalShipper`.
+
+The :class:`~repro.pmo.store.GroupCommitter` hands every committed
+batch here *after* its fsyncs and *before* its tickets retire.  While
+a standby is connected the shipper is **semi-synchronous**: the batch
+is streamed and the commit parks until the standby acks it fsynced —
+so a ``psync`` the client saw succeed is durable in *two* pool
+directories, which is the zero-acknowledged-write-loss guarantee
+(invariant I7) the failover chaos leg checks.
+
+Availability beats replication: a standby that is absent, dead, or
+too slow degrades the shipper (batches counted ``dropped``, commits
+proceed locally), never the primary.  A background dialer reconnects
+and then **bootstraps**: the standby receives every registered PMO's
+durable header plus a snapshot batch of its committed pages
+(``prev = -1`` resets the per-PMO chain), followed by the session
+journal — so a standby attached mid-life converges to the primary's
+full durable state, not just the traffic after the connect.
+
+Per PMO the shipped stream is a gapless, monotone chain: each batch
+carries ``(prev, seq]`` and the applier refuses any link that does
+not extend its last applied seq.  Replication lag (shipped minus
+acked batches) is exported as the ``terpd_repl_lag_batches`` gauge,
+which the replication bench samples to report ``lag p99``.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from repro.replication.wire import (
+    REPL_PROTOCOL_VERSION, ReplicationWireError, recv_msg, send_msg)
+
+if TYPE_CHECKING:
+    from repro.faults.plan import FaultPlan
+    from repro.pmo.store import PmoStore
+    from repro.service.recovery import SessionJournal
+
+__all__ = ["JournalShipper"]
+
+#: How long a semi-sync commit waits for the standby's ack before
+#: degrading (the commit itself is already locally durable).
+DEFAULT_ACK_TIMEOUT_S = 5.0
+#: Background dialer retry period while the standby is unreachable.
+DEFAULT_RECONNECT_S = 0.2
+
+
+class JournalShipper:
+    """Streams committed journal batches to a warm standby."""
+
+    def __init__(self, host: str, port: int, *,
+                 store: "PmoStore",
+                 journal: Optional["SessionJournal"] = None,
+                 metrics: Optional[Any] = None,
+                 faults: Optional["FaultPlan"] = None,
+                 sync: bool = True,
+                 ack_timeout_s: float = DEFAULT_ACK_TIMEOUT_S,
+                 reconnect_s: float = DEFAULT_RECONNECT_S) -> None:
+        self.host = host
+        self.port = port
+        self._store = store
+        self._journal = journal
+        self._metrics = metrics
+        self._faults = faults
+        self.sync = sync
+        self.ack_timeout_s = ack_timeout_s
+        self.reconnect_s = reconnect_s
+        #: serializes socket sends and the per-PMO chain state.
+        self._send_lock = threading.RLock()
+        #: ack bookkeeping (its lock is distinct from the send lock so
+        #: a parked commit never blocks other sends).
+        self._ack_cond = threading.Condition()
+        self._sock: Optional[socket.socket] = None
+        self.connected = False
+        self._prev: Dict[str, int] = {}
+        self._acked: Dict[str, int] = {}
+        self._inflight: Dict[Tuple[str, int], int] = {}
+        self._reader: Optional[threading.Thread] = None
+        self._dialer: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._wake = threading.Event()
+        #: lifetime tallies (also mirrored into the metrics registry).
+        self.shipped = 0
+        self.acked = 0
+        self.dropped = 0
+        self.reconnects = 0
+        self.last_error = ""
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> bool:
+        """Dial once synchronously (so a standby that is already up is
+        bootstrapped before the primary serves its first request),
+        then keep a background dialer for later reconnects.  Returns
+        whether the first dial connected."""
+        ok = self._connect_once()
+        self._dialer = threading.Thread(
+            target=self._dial_loop, name="terp-repl-dialer", daemon=True)
+        self._dialer.start()
+        return ok
+
+    def stop(self) -> None:
+        """Graceful shutdown: the store has already drained its group
+        committer through :meth:`ship_commit`, so closing the socket
+        here loses nothing acked."""
+        self._stop.set()
+        self._wake.set()
+        self._drop_connection("shutdown")
+        for thread in (self._dialer, self._reader):
+            if thread is not None and thread is not \
+                    threading.current_thread():
+                thread.join(timeout=2.0)
+        self._dialer = None
+
+    def abort(self) -> None:
+        """Crash-path shutdown: drop the socket mid-stream, exactly as
+        a SIGKILL would."""
+        self._stop.set()
+        self._wake.set()
+        self._drop_connection("crashed")
+
+    # -- status ------------------------------------------------------------
+
+    @property
+    def lag(self) -> int:
+        """Batches shipped but not yet acked by the standby."""
+        return max(0, self.shipped - self.acked)
+
+    def status(self) -> Dict[str, Any]:
+        return {
+            "target": f"{self.host}:{self.port}",
+            "connected": self.connected,
+            "sync": self.sync,
+            "shipped": self.shipped,
+            "acked": self.acked,
+            "dropped": self.dropped,
+            "lag": self.lag,
+            "reconnects": self.reconnects,
+            "last_error": self.last_error,
+        }
+
+    # -- shipping (called by the store and the session journal) ------------
+
+    def ship_commit(self, name: str, pmo_id: int, seq: int,
+                    pages: List[Tuple[int, bytes]]) -> None:
+        """Ship one committed batch; parks for the standby's ack in
+        sync mode.  Never raises — every failure path degrades."""
+        if self._faults is not None:
+            rule = self._faults.fire("repl.ship_stall")
+            if rule is not None and rule.delay_ns > 0:
+                time.sleep(rule.delay_ns / 1e9)
+        with self._send_lock:
+            if not self.connected:
+                self._note_drop()
+                return
+            prev = self._prev.get(name)
+            try:
+                if prev is None:
+                    # First sight of this PMO on a live link (its
+                    # header ship raced the connect): bootstrap it —
+                    # the snapshot includes this very batch's pages,
+                    # which are already on media.
+                    target = self._bootstrap_pmo(name)
+                    if target is None:
+                        self._note_drop()
+                        return
+                elif seq <= prev:
+                    # Already covered by a bootstrap snapshot that
+                    # read the pool file after this batch's fsync.
+                    target = prev
+                else:
+                    self._send_batch(name, pmo_id, seq, prev, pages)
+                    self._prev[name] = seq
+                    target = seq
+            except (OSError, ReplicationWireError) as exc:
+                self._drop_connection(f"ship: {exc}")
+                self._note_drop()
+                return
+        if self.sync and not self._await_ack(name, target):
+            self._note_drop()
+
+    def ship_header(self, name: str, header: bytes) -> None:
+        """Mirror a PMO registration (fire-and-forget)."""
+        with self._send_lock:
+            if not self.connected:
+                return
+            try:
+                send_msg(self._sock, {"t": "header", "pmo": name},
+                         header)
+                self._prev.setdefault(name, 0)
+            except (OSError, ReplicationWireError) as exc:
+                self._drop_connection(f"header: {exc}")
+
+    def ship_destroy(self, name: str) -> None:
+        """Mirror a PMO destroy (fire-and-forget)."""
+        with self._send_lock:
+            self._prev.pop(name, None)
+            if not self.connected:
+                return
+            try:
+                send_msg(self._sock, {"t": "destroy", "pmo": name})
+            except (OSError, ReplicationWireError) as exc:
+                self._drop_connection(f"destroy: {exc}")
+        with self._ack_cond:
+            self._acked.pop(name, None)
+
+    def ship_journal(self, record: Dict[str, Any]) -> None:
+        """Mirror one session-journal record (fire-and-forget: data
+        durability is I7's contract; session identity rides along)."""
+        with self._send_lock:
+            if not self.connected:
+                return
+            try:
+                send_msg(self._sock, {"t": "journal", "line": record})
+            except (OSError, ReplicationWireError) as exc:
+                self._drop_connection(f"journal: {exc}")
+
+    # -- connection management ---------------------------------------------
+
+    def _dial_loop(self) -> None:
+        while not self._stop.is_set():
+            self._wake.wait(self.reconnect_s)
+            self._wake.clear()
+            if self._stop.is_set():
+                return
+            if not self.connected:
+                self._connect_once()
+
+    def _connect_once(self) -> bool:
+        try:
+            sock = socket.create_connection((self.host, self.port),
+                                            timeout=5.0)
+        except OSError as exc:
+            self.last_error = f"connect: {exc}"
+            return False
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            send_msg(sock, {"t": "hello",
+                            "version": REPL_PROTOCOL_VERSION,
+                            "role": "primary"})
+            got = recv_msg(sock)
+            if got is None or got[0].get("t") != "hello-ack":
+                raise ReplicationWireError(
+                    "standby did not answer the hello")
+        except (OSError, ReplicationWireError) as exc:
+            self.last_error = f"hello: {exc}"
+            sock.close()
+            return False
+        sock.settimeout(None)
+        with self._send_lock:
+            self._sock = sock
+            self._prev.clear()
+            with self._ack_cond:
+                self._acked.clear()
+                self._inflight.clear()
+            self.connected = True
+            self.reconnects += 1
+            try:
+                self._bootstrap_all()
+            except (OSError, ReplicationWireError) as exc:
+                self._drop_connection(f"bootstrap: {exc}")
+                return False
+        self._reader = threading.Thread(
+            target=self._read_acks, args=(sock,),
+            name="terp-repl-acks", daemon=True)
+        self._reader.start()
+        return True
+
+    def _drop_connection(self, why: str) -> None:
+        with self._send_lock:
+            if self._sock is not None:
+                try:
+                    # shutdown() unblocks a reader parked in recv();
+                    # close() alone can leave it in the syscall.
+                    self._sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                try:
+                    self._sock.close()
+                except OSError:
+                    pass
+            self._sock = None
+            if self.connected:
+                self.last_error = why
+            self.connected = False
+        with self._ack_cond:
+            self._inflight.clear()
+            self._ack_cond.notify_all()
+        self._set_lag_gauge()
+
+    # -- bootstrap ---------------------------------------------------------
+
+    def _bootstrap_all(self) -> None:
+        """Converge a fresh link: headers + committed snapshots for
+        every registered PMO, then the whole session journal.  Runs
+        under the send lock, so live commits and journal appends queue
+        behind it and the standby sees one consistent prefix."""
+        for name in self._store.registered():
+            self._bootstrap_pmo(name, raise_errors=True)
+        if self._journal is not None:
+            for record in self._journal.read_records():
+                send_msg(self._sock, {"t": "journal", "line": record})
+
+    def _bootstrap_pmo(self, name: str, *,
+                       raise_errors: bool = False) -> Optional[int]:
+        """Ship one PMO's header + committed pages; returns the
+        snapshot's seq (the new chain head), or None if degraded."""
+        try:
+            header, seq, pages = self._store.committed_state(name)
+        except Exception:
+            # Unregistered mid-flight (destroy raced): nothing to ship.
+            return None
+        try:
+            send_msg(self._sock, {"t": "header", "pmo": name}, header)
+            self._send_batch(name, 0, seq, -1, pages)
+        except (OSError, ReplicationWireError):
+            if raise_errors:
+                raise
+            self._drop_connection("bootstrap")
+            return None
+        self._prev[name] = seq
+        return seq
+
+    # -- internals ---------------------------------------------------------
+
+    def _send_batch(self, name: str, pmo_id: int, seq: int, prev: int,
+                    pages: List[Tuple[int, bytes]]) -> None:
+        import zlib
+        meta = [[index, zlib.crc32(page) & 0xFFFFFFFF]
+                for index, page in pages]
+        payload = b"".join(page for _, page in pages)
+        with self._ack_cond:
+            self._inflight[(name, seq)] = time.perf_counter_ns()
+        send_msg(self._sock, {"t": "batch", "pmo": name,
+                              "pmo_id": pmo_id, "seq": seq,
+                              "prev": prev, "pages": meta}, payload)
+        self.shipped += 1
+        if self._metrics is not None:
+            self._metrics.note_ship()
+        self._set_lag_gauge()
+
+    def _await_ack(self, name: str, seq: int) -> bool:
+        deadline = time.monotonic() + self.ack_timeout_s
+        with self._ack_cond:
+            while self._acked.get(name, -1) < seq:
+                if not self.connected:
+                    return False
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self.last_error = (f"ack timeout: {name} seq {seq}"
+                                       f" after {self.ack_timeout_s}s")
+                    return False
+                self._ack_cond.wait(remaining)
+            return True
+
+    def _read_acks(self, sock: socket.socket) -> None:
+        while not self._stop.is_set():
+            try:
+                got = recv_msg(sock)
+            except (OSError, ReplicationWireError) as exc:
+                self._drop_connection(f"ack stream: {exc}")
+                return
+            if got is None:
+                self._drop_connection("standby closed the link")
+                return
+            header, _ = got
+            if header.get("t") != "ack":
+                continue
+            name = str(header.get("pmo", ""))
+            seq = int(header.get("seq", -1))
+            with self._ack_cond:
+                if seq > self._acked.get(name, -1):
+                    self._acked[name] = seq
+                t0 = self._inflight.pop((name, seq), None)
+                self.acked += 1
+                self._ack_cond.notify_all()
+            if self._metrics is not None:
+                latency = (time.perf_counter_ns() - t0
+                           if t0 is not None else 0)
+                self._metrics.note_ship_ack(latency)
+            self._set_lag_gauge()
+
+    def _note_drop(self) -> None:
+        self.dropped += 1
+        if self._metrics is not None:
+            self._metrics.note_ship_drop()
+
+    def _set_lag_gauge(self) -> None:
+        if self._metrics is not None:
+            self._metrics.set_replication_lag(self.lag)

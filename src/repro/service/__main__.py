@@ -74,6 +74,15 @@ def build_parser() -> argparse.ArgumentParser:
                              "merge into one journal fsync; 0 commits "
                              "each batch as soon as the flusher is "
                              "free (default: %(default)s)")
+    parser.add_argument("--replicate-to", metavar="HOST:PORT",
+                        default=None,
+                        help="stream every committed journal batch to "
+                             "a warm standby (python -m "
+                             "repro.replication) at HOST:PORT; "
+                             "requires --pool-dir.  Commits wait for "
+                             "the standby's ack while it is connected "
+                             "(semi-sync), so an acked psync survives "
+                             "primary death and promotion")
     parser.add_argument("--profile", metavar="PATH", default=None,
                         help="run under cProfile and dump the stats "
                              "file to PATH on shutdown (inspect with "
@@ -110,7 +119,8 @@ def make_service(args: argparse.Namespace) -> TerpService:
         obs_enabled=not args.no_obs,
         session_linger_ns=max(0, int(args.resume_linger_ms * 1e6)),
         pool_dir=args.pool_dir,
-        commit_interval_us=max(0, args.commit_interval_us))
+        commit_interval_us=max(0, args.commit_interval_us),
+        replicate_to=args.replicate_to)
 
 
 async def _amain(args: argparse.Namespace) -> int:

@@ -363,8 +363,14 @@ class SyncTerpClient(_ClientCore):
                 continue
             except RemoteError as exc:
                 # An error *response*: the connection round-tripped.
+                # Busy is the exception — a half-open probe answered
+                # Busy must re-open the circuit, not close it (the
+                # server is shedding load, not serving).
                 if self._breaker is not None:
-                    self._breaker.record_success()
+                    if exc.kind == "Busy":
+                        self._breaker.record_busy()
+                    else:
+                        self._breaker.record_success()
                 if self._retry is not None and \
                         exc.kind in RETRYABLE_KINDS and \
                         attempt < self._retry.max_retries:
@@ -726,7 +732,12 @@ class TerpClient(_ClientCore):
                 continue
             except RemoteError as exc:
                 if self._breaker is not None:
-                    self._breaker.record_success()
+                    # Busy re-opens a half-open circuit instead of
+                    # closing it (see SyncTerpClient._call).
+                    if exc.kind == "Busy":
+                        self._breaker.record_busy()
+                    else:
+                        self._breaker.record_success()
                 if self._retry is not None and \
                         exc.kind in RETRYABLE_KINDS and \
                         attempt < self._retry.max_retries:

@@ -159,6 +159,18 @@ class ServiceMetrics:
         self._recovery_forced_detaches = reg.counter(
             "terpd_recovery_forced_detaches_total", "holdings force-"
             "detached at recovery (EW elapsed during the outage)")
+        self._batches_shipped = reg.counter(
+            "terpd_repl_batches_shipped_total", "group-commit batches "
+            "streamed to the standby")
+        self._batches_ship_acked = reg.counter(
+            "terpd_repl_batches_acked_total", "shipped batches the "
+            "standby acked as fsynced")
+        self._batches_ship_dropped = reg.counter(
+            "terpd_repl_batches_dropped_total", "batches not "
+            "replicated (standby absent, link down, or ack timeout)")
+        self._replication_lag = reg.gauge(
+            "terpd_repl_lag_batches", "batches shipped but not yet "
+            "acked by the standby")
         self._op_counters: Dict[str, Counter] = {}
         self._fault_site_counters: Dict[str, Counter] = {}
         self.request_latency = reg.histogram(
@@ -168,6 +180,10 @@ class ServiceMetrics:
             "terpd_sweep_latency_ns", "sweeper pass duration",
             buckets=LATENCY_BUCKETS_NS, reservoir_capacity=2048,
             seed=11)
+        self.ship_ack_latency = reg.histogram(
+            "terpd_repl_ack_latency_ns", "ship-to-ack round trip",
+            buckets=LATENCY_BUCKETS_NS, reservoir_capacity=4096,
+            seed=13)
 
     # -- write side -------------------------------------------------------
 
@@ -239,6 +255,19 @@ class ServiceMetrics:
         self._restarts_recovered.inc()
         self._sessions_recovered.inc(sessions)
         self._recovery_forced_detaches.inc(forced_detaches)
+
+    def note_ship(self) -> None:
+        self._batches_shipped.inc()
+
+    def note_ship_ack(self, latency_ns: int) -> None:
+        self._batches_ship_acked.inc()
+        self.ship_ack_latency.observe(latency_ns)
+
+    def note_ship_drop(self) -> None:
+        self._batches_ship_dropped.inc()
+
+    def set_replication_lag(self, batches: int) -> None:
+        self._replication_lag.set(batches)
 
     # -- read side --------------------------------------------------------
 
@@ -319,6 +348,22 @@ class ServiceMetrics:
         return self._recovery_forced_detaches.value
 
     @property
+    def batches_shipped(self) -> int:
+        return self._batches_shipped.value
+
+    @property
+    def batches_ship_acked(self) -> int:
+        return self._batches_ship_acked.value
+
+    @property
+    def batches_ship_dropped(self) -> int:
+        return self._batches_ship_dropped.value
+
+    @property
+    def replication_lag(self) -> int:
+        return int(self._replication_lag.value)
+
+    @property
     def faults_by_site(self) -> Dict[str, int]:
         return {site: counter.value
                 for site, counter in self._fault_site_counters.items()}
@@ -350,6 +395,10 @@ class ServiceMetrics:
             "restarts_recovered": self.restarts_recovered,
             "sessions_recovered": self.sessions_recovered,
             "recovery_forced_detaches": self.recovery_forced_detaches,
+            "repl_batches_shipped": self.batches_shipped,
+            "repl_batches_acked": self.batches_ship_acked,
+            "repl_batches_dropped": self.batches_ship_dropped,
+            "repl_lag": self.replication_lag,
             "ops": self.ops,
             "request_latency": _histogram_latency_dict(
                 self.request_latency),

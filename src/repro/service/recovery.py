@@ -51,6 +51,11 @@ class SessionJournal:
     def __init__(self, pool_dir: os.PathLike) -> None:
         self.path = Path(pool_dir) / JOURNAL_NAME
         self._fh = None
+        #: optional replication mirror: every appended record is also
+        #: handed here (the shipper's ``ship_journal``), so a promoted
+        #: standby recovers sessions/epoch exactly as a warm restart
+        #: on the primary's own directory would.
+        self.mirror: Optional[Any] = None
 
     # -- writing -----------------------------------------------------------
 
@@ -59,6 +64,8 @@ class SessionJournal:
             self._fh = open(self.path, "a", encoding="utf-8")
         self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
         self._fh.flush()
+        if self.mirror is not None:
+            self.mirror(record)
 
     def record_epoch(self, wall_ns: int) -> None:
         self._append({"rec": "epoch", "wall_ns": wall_ns})

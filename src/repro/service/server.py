@@ -124,7 +124,8 @@ class TerpService:
                  commit_interval_us: int = DEFAULT_COMMIT_INTERVAL_US,
                  protocol_version: int = PROTOCOL_VERSION,
                  shard_index: Optional[int] = None,
-                 shard_count: int = 1) -> None:
+                 shard_count: int = 1,
+                 replicate_to: Optional[str] = None) -> None:
         if port is None and unix_path is None:
             raise TerpError("need a TCP port and/or a unix socket path")
         self.host = host
@@ -231,13 +232,14 @@ class TerpService:
             "tx_abort": self._op_tx_abort,
             "trace": self._op_trace,
             "prometheus": self._op_prometheus,
+            "repl_status": self._op_repl_status,
         }
         #: per-op span names, precomputed off the hot path
         self._span_names = {op: f"terpd.{op}" for op in self._handlers}
         #: ops allowed before hello binds a session (observability
         #: reads included: a scraper needs no entity identity)
         self._sessionless = {"hello", "ping", "metrics", "trace",
-                             "prometheus"}
+                             "prometheus", "repl_status"}
         if self.store is not None:
             # Warm restart happens *here*, before any socket binds:
             # the pool is rescanned and verified, surviving sessions
@@ -247,6 +249,25 @@ class TerpService:
             self.session_journal = SessionJournal(pool_dir)
             self.sessions.journal = self.session_journal
             self.recovery_report = RecoveryManager(self).recover()
+        #: Journal shipping (``--replicate-to host:port``): every
+        #: post-fsync group-commit batch streams to a warm standby,
+        #: semi-synchronously — a psync acked to the client is applied
+        #: on the standby too (invariant I7).  Built after recovery so
+        #: the first bootstrap ships the recovered (compacted) state.
+        self.replicate_to = replicate_to
+        self.shipper: Optional[Any] = None
+        if replicate_to is not None:
+            if self.store is None:
+                raise TerpError("--replicate-to requires --pool-dir "
+                                "(only durable state can be shipped)")
+            from repro.replication.shipper import JournalShipper
+            peer_host, _, peer_port = replicate_to.rpartition(":")
+            self.shipper = JournalShipper(
+                peer_host or "127.0.0.1", int(peer_port),
+                store=self.store, journal=self.session_journal,
+                metrics=self.metrics, faults=faults)
+            self.store.shipper = self.shipper
+            self.session_journal.mirror = self.shipper.ship_journal
 
     # -- clock ---------------------------------------------------------------
 
@@ -316,6 +337,12 @@ class TerpService:
             server = await asyncio.start_unix_server(
                 self._serve_connection, path=self.unix_path)
             self._servers.append(server)
+        if self.shipper is not None:
+            # The first dial (and bootstrap) happens off the event
+            # loop; an unreachable standby degrades to the background
+            # dialer, never delays serving.
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.shipper.start)
         self._sweeper = asyncio.create_task(self.sweeper.loop())
 
     async def stop(self) -> None:
@@ -343,6 +370,9 @@ class TerpService:
             # Drain the group committer: every submitted psync batch
             # reaches disk before the journal handle goes away.
             self.store.close()
+        if self.shipper is not None:
+            # After the drain: every committed batch already shipped.
+            self.shipper.stop()
         if self.session_journal is not None:
             self.session_journal.close()
         for writer in list(self._writers):
@@ -377,6 +407,9 @@ class TerpService:
             # nothing was promised) and the thread is joined so it
             # cannot race a restarted service's recovery scan.
             self.store.abort_commits()
+        if self.shipper is not None:
+            # The replication socket dies mid-stream, as SIGKILL would.
+            self.shipper.abort()
         if self.session_journal is not None:
             # Only drops the file handle; appended records stay.
             self.session_journal.close()
@@ -702,6 +735,12 @@ class TerpService:
         if conn.session is not None:
             out["session"] = conn.session.metrics.to_dict()
         return out
+
+    def _op_repl_status(self, conn: _Conn, args: Dict) -> Dict:
+        """Replication health: target, connectivity, lag, drops."""
+        if self.shipper is None:
+            return {"enabled": False}
+        return {"enabled": True, **self.shipper.status()}
 
     def _op_trace(self, conn: _Conn, args: Dict) -> Dict:
         """Observability read: recent spans + audit timeline events."""

@@ -1,0 +1,111 @@
+"""The replication wire format: framing, bounds, typed errors."""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.replication.wire import (
+    MAX_FRAME_BYTES, ReplicationWireError, recv_msg, send_msg)
+
+
+def pair():
+    a, b = socket.socketpair()
+    return a, b
+
+
+class TestRoundTrip:
+    def test_header_only(self):
+        a, b = pair()
+        send_msg(a, {"t": "hello", "version": 1})
+        header, payload = recv_msg(b)
+        assert header == {"t": "hello", "version": 1}
+        assert payload == b""
+        a.close(), b.close()
+
+    def test_header_and_payload(self):
+        a, b = pair()
+        blob = bytes(range(256)) * 32
+        send_msg(a, {"t": "batch", "seq": 7}, blob)
+        header, payload = recv_msg(b)
+        assert header["seq"] == 7
+        assert payload == blob
+        a.close(), b.close()
+
+    def test_many_frames_in_order(self):
+        a, b = pair()
+        for i in range(20):
+            send_msg(a, {"t": "ack", "seq": i}, b"x" * i)
+        for i in range(20):
+            header, payload = recv_msg(b)
+            assert header["seq"] == i
+            assert payload == b"x" * i
+        a.close(), b.close()
+
+    def test_large_payload_crosses_recv_chunks(self):
+        a, b = pair()
+        blob = b"\xab" * (1 << 20)
+        done = threading.Thread(
+            target=lambda: send_msg(a, {"t": "batch"}, blob))
+        done.start()
+        header, payload = recv_msg(b)
+        done.join()
+        assert payload == blob
+        a.close(), b.close()
+
+
+class TestEofAndErrors:
+    def test_orderly_eof_at_boundary_is_none(self):
+        a, b = pair()
+        a.close()
+        assert recv_msg(b) is None
+        b.close()
+
+    def test_eof_mid_frame_is_typed(self):
+        a, b = pair()
+        a.sendall(struct.pack(">I", 100) + b"short")
+        a.close()
+        with pytest.raises(ReplicationWireError):
+            recv_msg(b)
+        b.close()
+
+    def test_oversized_send_refused(self):
+        a, b = pair()
+        with pytest.raises(ReplicationWireError):
+            send_msg(a, {"t": "batch"},
+                     bytearray(MAX_FRAME_BYTES + 1))
+        a.close(), b.close()
+
+    def test_oversized_length_prefix_refused(self):
+        a, b = pair()
+        a.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(ReplicationWireError):
+            recv_msg(b)
+        a.close(), b.close()
+
+    def test_garbage_header_is_typed(self):
+        a, b = pair()
+        head = b"not json"
+        body = struct.pack(">I", len(head)) + head
+        a.sendall(struct.pack(">I", len(body)) + body)
+        with pytest.raises(ReplicationWireError):
+            recv_msg(b)
+        a.close(), b.close()
+
+    def test_header_without_type_is_typed(self):
+        a, b = pair()
+        head = b"{\"seq\": 1}"
+        body = struct.pack(">I", len(head)) + head
+        a.sendall(struct.pack(">I", len(body)) + body)
+        with pytest.raises(ReplicationWireError):
+            recv_msg(b)
+        a.close(), b.close()
+
+    def test_header_length_beyond_body_is_typed(self):
+        a, b = pair()
+        body = struct.pack(">I", 999) + b"{}"
+        a.sendall(struct.pack(">I", len(body)) + body)
+        with pytest.raises(ReplicationWireError):
+            recv_msg(b)
+        a.close(), b.close()

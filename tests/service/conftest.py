@@ -5,9 +5,15 @@ N-shard cluster behind a router instead of a single in-process
 daemon — the client-facing contract must be identical, so the same
 e2e suite is the cluster's conformance suite.  Each test gets a
 fresh cluster (exact-count assertions need per-test isolation).
+
+Set ``TERP_REPLICA=1`` to run every test against a durable primary
+shipping each committed journal batch semi-synchronously to a warm
+in-process standby — replication must be invisible to clients, so
+the same suite is the replicated daemon's conformance suite too.
 """
 
 import os
+import tempfile
 import time
 import types
 
@@ -34,6 +40,21 @@ def terpd():
             run_sweep=lambda: time.sleep(0.12),
             supervisor=supervisor)
         supervisor.stop()
+        return
+    if os.environ.get("TERP_REPLICA") == "1":
+        from repro.replication import StandbyDaemon
+        with tempfile.TemporaryDirectory(prefix="terp-repl-") as root:
+            standby = StandbyDaemon(os.path.join(root, "standby"))
+            repl_port = standby.start()
+            thread = ServiceThread(TerpService(
+                port=0, session_ew_ns=2_000_000_000,
+                sweep_period_ns=50_000_000,
+                pool_dir=os.path.join(root, "primary"),
+                replicate_to=f"127.0.0.1:{repl_port}"))
+            service = thread.start()
+            yield service
+            thread.stop()
+            standby.stop()
         return
     thread = ServiceThread(TerpService(port=0,
                                        session_ew_ns=2_000_000_000,

@@ -38,7 +38,13 @@ class TestConcurrentSessions:
             oid = alice.pmalloc("shared", 64)
             alice.tx_begin("shared")
             alice.write(oid, b"cross-session payload")
-            assert alice.psync("shared") == 1
+            flushed = alice.psync("shared")
+            # In-memory: exactly the one dirty data page.  Durable
+            # replica mode also flushes header/allocator metadata.
+            if os.environ.get("TERP_REPLICA") == "1":
+                assert flushed >= 1
+            else:
+                assert flushed == 1
             assert bob.read(oid, 21) == b"cross-session payload"
             assert alice.detach("shared")["outcome"] == "silent"
             assert bob.detach("shared")["outcome"] in ("performed",

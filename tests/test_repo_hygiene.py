@@ -1,0 +1,53 @@
+"""Repository hygiene: no bytecode in git, no source-less bytecode.
+
+Two failure modes this guards against, both of which have bitten
+real checkouts:
+
+* a ``__pycache__`` entry (or any ``.pyc``) committed to git — stale
+  bytecode shadows source edits and churns every diff;
+* *orphaned* bytecode on disk: a ``.pyc`` whose source module was
+  deleted or renamed.  Python happily keeps importing the ghost
+  module, so refactors appear to work locally while every fresh
+  clone breaks.
+"""
+
+import os
+import subprocess
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def test_no_bytecode_tracked_by_git():
+    tracked = subprocess.run(
+        ["git", "ls-files"], cwd=REPO_ROOT, capture_output=True,
+        text=True, check=True).stdout.splitlines()
+    offenders = [path for path in tracked
+                 if "__pycache__" in path.split("/")
+                 or path.endswith((".pyc", ".pyo"))]
+    assert not offenders, (
+        f"bytecode tracked by git (git rm --cached them): "
+        f"{offenders}")
+
+
+def test_no_sourceless_bytecode_on_disk():
+    """Every ``__pycache__/*.pyc`` must shadow a live ``.py`` next to
+    its cache directory; a ghost pyc means a deleted module is still
+    importable locally."""
+    orphans = []
+    for root, dirs, files in os.walk(REPO_ROOT):
+        dirs[:] = [d for d in dirs if d != ".git"]
+        if os.path.basename(root) != "__pycache__":
+            continue
+        source_dir = os.path.dirname(root)
+        for name in files:
+            if not name.endswith((".pyc", ".pyo")):
+                continue
+            # cpython tag form: "module.cpython-311.pyc"
+            module = name.split(".", 1)[0]
+            if not os.path.exists(
+                    os.path.join(source_dir, module + ".py")):
+                orphans.append(
+                    os.path.relpath(os.path.join(root, name),
+                                    REPO_ROOT))
+    assert not orphans, (
+        f"source-less bytecode on disk (delete it): {orphans}")
