@@ -186,17 +186,19 @@ def _standby_main(config: ClusterConfig, index: int, port: int,
                   pool_dir: str, report) -> None:
     """Child entry point: one warm standby (module-level: picklable).
 
-    The directory is wiped on startup: a standby's content is nothing
-    but a mirror, and the shipper's bootstrap reconstructs it in full
-    on connect — starting clean prevents a stale generation's files
-    (e.g. a since-destroyed PMO) from leaking into a later promotion.
+    The directory is deliberately NOT wiped here.  Stale content — a
+    prior generation's mirror, or a since-destroyed PMO — is pruned by
+    the shipper's reconciling bootstrap (reset frame, truncating
+    headers, full snapshot) the moment a primary connects, which also
+    covers reconnects of a live standby, not just process restarts.
+    Deferring the cleanup to that moment matters for promotion: the
+    dead shard's pool directory is recycled as the replacement
+    standby's mirror, and until a promoted primary is confirmed up and
+    shipping, that directory may hold the only complete durable copy
+    of acknowledged writes (invariant I7).
     """
-    import shutil
-
     from repro.replication.applier import StandbyDaemon
 
-    if os.path.isdir(pool_dir):
-        shutil.rmtree(pool_dir)
     daemon = StandbyDaemon(
         pool_dir, host=config.host, port=port,
         service_kwargs=_service_kwargs(config, index),
@@ -514,7 +516,8 @@ class ClusterSupervisor:
                 self._spawn_shard(child, port=child.port or 0)
             elif child.kind == "standby":
                 # Same replication port: the shard's shipper dialer
-                # reconnects and re-bootstraps the wiped mirror.
+                # reconnects and its reconciling bootstrap rebuilds
+                # the mirror (pruning anything stale).
                 self._spawn_standby(child, port=child.port or 0)
             else:
                 shard_addrs = [(self.config.host, c.port or 0)
@@ -547,8 +550,12 @@ class ClusterSupervisor:
         if standby.process is None or not standby.process.is_alive():
             return False
         # Replacement standby first (into the dead shard's old
-        # directory, wiped at its startup), so the promote frame can
-        # point the promoted service's shipper at it.
+        # directory), so the promote frame can point the promoted
+        # service's shipper at it.  Spawning is safe *before* the
+        # promotion is confirmed because a standby defers its wipe:
+        # the directory — possibly the only complete durable copy of
+        # acked writes, since shipping legitimately degrades — is
+        # untouched until a promoted primary connects and bootstraps.
         old_shard_dir = self._shard_dirs[index]
         replacement = _Child("standby", index)
         self._standby_dirs[index], self._shard_dirs[index] = \
@@ -576,21 +583,18 @@ class ClusterSupervisor:
                     raise OSError("standby did not confirm promotion")
         except Exception:
             # Promotion failed; fall back to the cold restart path.
-            if replacement is not None:
-                # The replacement already wiped the shard's old
-                # directory, so the swap must STAND: the shard cold-
-                # restarts from the standby's mirror (which holds
-                # every acked write), and the old standby — which
-                # would race it on that directory — is retired.
-                if standby.process is not None and \
-                        standby.process.is_alive():
-                    standby.process.terminate()
-                self._standbys[index] = replacement
-            else:
-                # Nothing was wiped: undo the swap, keep the old
-                # standby, restart the shard on its own directory.
-                self._standby_dirs[index], self._shard_dirs[index] = \
-                    self._shard_dirs[index], self._standby_dirs[index]
+            # No promoted primary ever connected, so the dead shard's
+            # directory is still intact: retire the replacement, undo
+            # the swap, and let the shard cold-restart from its own
+            # pool — the one copy guaranteed to hold every acked
+            # write.  The old standby stays as its failover target.
+            if replacement is not None and \
+                    replacement.process is not None:
+                if replacement.process.is_alive():
+                    replacement.process.terminate()
+                replacement.process.join(timeout=2.0)
+            self._standby_dirs[index], self._shard_dirs[index] = \
+                self._shard_dirs[index], self._standby_dirs[index]
             return False
         # The standby process now runs the shard on the shard's port.
         shard.process = standby.process

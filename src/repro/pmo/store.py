@@ -425,9 +425,14 @@ class PmoStore:
                     if self.fsync:
                         fh.flush()
                         os.fsync(fh.fileno())
-            if self.shipper is not None:
-                self.shipper.ship_header(pmo.name,
-                                         self._header_bytes(pmo))
+        # Shipper hook OUTSIDE ``_lock``: the shipper's reconnect
+        # bootstrap holds its send lock while reading
+        # ``committed_state()`` (which takes ``_lock``), so calling
+        # into the shipper under ``_lock`` would be an ABBA deadlock.
+        # The lock order is: shipper send lock before store locks,
+        # never the reverse.
+        if self.shipper is not None:
+            self.shipper.ship_header(pmo.name, self._header_bytes(pmo))
 
     def unregister(self, name: str) -> None:
         with self._lock:
@@ -443,8 +448,11 @@ class PmoStore:
             with self._io_lock:
                 self.path_for(name).unlink(missing_ok=True)
                 self.journal_path_for(name).unlink(missing_ok=True)
-            if self.shipper is not None:
-                self.shipper.ship_destroy(name)
+        # Outside ``_lock`` for the same lock-order reason as the
+        # register hook.  A destroy the link was down for is healed by
+        # the reconciling bootstrap on reconnect.
+        if self.shipper is not None:
+            self.shipper.ship_destroy(name)
 
     def registered(self) -> List[str]:
         with self._lock:

@@ -84,25 +84,27 @@ class JournalApplier:
     # -- frame application -------------------------------------------------
 
     def apply_header(self, name: str, header: bytes) -> None:
-        """Create (or refresh) a PMO's durable file header."""
+        """(Re)create a PMO's durable file as the bare header.
+
+        Deliberately truncating: a header is shipped at registration
+        (fresh PMO, nothing to keep) and at bootstrap (a full snapshot
+        follows immediately), so any pages already in the file belong
+        to a stale generation and must not survive into a promotion.
+        The chain restarts at 0; the bootstrap snapshot's ``prev ==
+        -1`` re-seats it at the snapshot seq.
+        """
         if len(header) != HEADER_SPAN:
             raise ReplicationWireError(
                 f"shipped header is {len(header)} bytes, "
                 f"expected {HEADER_SPAN}")
         with self._lock:
-            path = self.path_for(name)
-            mode = "r+b" if path.exists() else "wb"
-            with open(path, mode) as fh:
-                fh.seek(0)
+            with open(self.path_for(name), "wb") as fh:
                 fh.write(header)
                 fh.flush()
                 if self.fsync:
                     os.fsync(fh.fileno())
-            # A fresh header starts the PMO's chain at seq 0 (its
-            # first live batch ships as (0, 1]); a bootstrap header
-            # for a known PMO leaves the chain head alone — the
-            # snapshot batch that follows resets it explicitly.
-            self.applied.setdefault(name, 0)
+            self.journal_path_for(name).unlink(missing_ok=True)
+            self.applied[name] = 0
 
     def apply_batch(self, name: str, seq: int, prev: int,
                     meta: List[List[int]], payload: bytes) -> None:
@@ -138,6 +140,29 @@ class JournalApplier:
             self.path_for(name).unlink(missing_ok=True)
             self.journal_path_for(name).unlink(missing_ok=True)
             self.applied.pop(name, None)
+
+    def apply_reset(self, names: List[str]) -> None:
+        """Reconcile the mirror with the primary's registered set (the
+        first frame of every bootstrap): prune mirrored files for PMOs
+        the primary no longer has — a destroy that raced a disconnect,
+        or a stale prior generation in this directory — and restart
+        the mirrored session journal, which the primary re-ships in
+        full immediately after."""
+        live = {str(name) for name in names}
+        keep = {_safe_filename(name) for name in live}
+        with self._lock:
+            for path in self.root.glob("*.pmo"):
+                if path.stem not in keep:
+                    path.unlink(missing_ok=True)
+            for path in self.root.glob("*.journal"):
+                if path != self._journal.path \
+                        and path.stem not in keep:
+                    path.unlink(missing_ok=True)
+            for name in list(self.applied):
+                if name not in live:
+                    del self.applied[name]
+            self._journal.close()
+            self._journal.path.unlink(missing_ok=True)
 
     def status(self) -> Dict[str, Any]:
         with self._lock:
@@ -384,6 +409,12 @@ class StandbyDaemon:
             # The promoted service owns the pool directory now; any
             # straggling primary must not write under it.
             return False
+        if kind == "reset":
+            pmos = header.get("pmos")
+            self.applier.apply_reset(
+                [str(p) for p in pmos] if isinstance(pmos, list)
+                else [])
+            return True
         if kind == "header":
             self.applier.apply_header(str(header["pmo"]), payload)
             return True

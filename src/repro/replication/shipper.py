@@ -11,11 +11,14 @@ directories, which is the zero-acknowledged-write-loss guarantee
 Availability beats replication: a standby that is absent, dead, or
 too slow degrades the shipper (batches counted ``dropped``, commits
 proceed locally), never the primary.  A background dialer reconnects
-and then **bootstraps**: the standby receives every registered PMO's
-durable header plus a snapshot batch of its committed pages
-(``prev = -1`` resets the per-PMO chain), followed by the session
-journal — so a standby attached mid-life converges to the primary's
-full durable state, not just the traffic after the connect.
+and then **bootstraps**: the standby first receives a reconciling
+``reset`` (the full registered set — it prunes mirrored files for
+anything else, so a destroy the link was down for cannot resurrect),
+then every registered PMO's durable header plus a snapshot batch of
+its committed pages (``prev = -1`` resets the per-PMO chain),
+followed by the session journal — so a standby attached mid-life
+converges to *exactly* the primary's durable state, not just the
+traffic after the connect.
 
 Per PMO the shipped stream is a gapless, monotone chain: each batch
 carries ``(prev, seq]`` and the applier refuses any link that does
@@ -27,6 +30,7 @@ which the replication bench samples to report ``lag p99``.
 from __future__ import annotations
 
 import socket
+import struct
 import threading
 import time
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
@@ -187,6 +191,11 @@ class JournalShipper:
         with self._send_lock:
             if not self.connected:
                 return
+            if name in self._prev:
+                # A bootstrap that raced this register already shipped
+                # the header (plus a snapshot); re-shipping would
+                # truncate the mirror behind the snapshot's back.
+                return
             try:
                 send_msg(self._sock, {"t": "header", "pmo": name},
                          header)
@@ -250,6 +259,18 @@ class JournalShipper:
             sock.close()
             return False
         sock.settimeout(None)
+        # Bound *sends* without bounding recvs: a standby that stops
+        # reading (stalled process, full TCP window) must degrade
+        # shipping, never park a group commit in sendall() under the
+        # send lock.  SO_SNDTIMEO is kernel-side and send-only, so the
+        # ack reader keeps blocking in recv() while a timed-out send
+        # raises OSError — which every ship path already treats as a
+        # drop-connection event.
+        timeout = max(0.001, self.ack_timeout_s)
+        sock.setsockopt(
+            socket.SOL_SOCKET, socket.SO_SNDTIMEO,
+            struct.pack("ll", int(timeout),
+                        int((timeout - int(timeout)) * 1e6)))
         with self._send_lock:
             self._sock = sock
             self._prev.clear()
@@ -269,8 +290,14 @@ class JournalShipper:
         self._reader.start()
         return True
 
-    def _drop_connection(self, why: str) -> None:
+    def _drop_connection(self, why: str,
+                         sock: Optional[socket.socket] = None) -> None:
         with self._send_lock:
+            if sock is not None and sock is not self._sock:
+                # A stale ack-reader from an already-dropped link must
+                # not tear down the connection the dialer has since
+                # re-established.
+                return
             if self._sock is not None:
                 try:
                     # shutdown() unblocks a reader parked in recv();
@@ -294,11 +321,16 @@ class JournalShipper:
     # -- bootstrap ---------------------------------------------------------
 
     def _bootstrap_all(self) -> None:
-        """Converge a fresh link: headers + committed snapshots for
-        every registered PMO, then the whole session journal.  Runs
-        under the send lock, so live commits and journal appends queue
-        behind it and the standby sees one consistent prefix."""
-        for name in self._store.registered():
+        """Converge a fresh link: a reconciling ``reset`` (the full
+        registered set — the applier prunes everything else, so a
+        destroy the link was down for cannot survive), then headers +
+        committed snapshots for every registered PMO, then the whole
+        session journal.  Runs under the send lock, so live commits
+        and journal appends queue behind it and the standby sees one
+        consistent prefix."""
+        names = self._store.registered()
+        send_msg(self._sock, {"t": "reset", "pmos": names})
+        for name in names:
             self._bootstrap_pmo(name, raise_errors=True)
         if self._journal is not None:
             for record in self._journal.read_records():
@@ -361,10 +393,10 @@ class JournalShipper:
             try:
                 got = recv_msg(sock)
             except (OSError, ReplicationWireError) as exc:
-                self._drop_connection(f"ack stream: {exc}")
+                self._drop_connection(f"ack stream: {exc}", sock)
                 return
             if got is None:
-                self._drop_connection("standby closed the link")
+                self._drop_connection("standby closed the link", sock)
                 return
             header, _ = got
             if header.get("t") != "ack":

@@ -13,9 +13,18 @@ client protocol uses for reads and writes).  Message types:
 
 ``hello`` / ``hello-ack``
     version negotiation, sent once per connection in each direction.
+``reset``
+    primary → standby, first frame of every bootstrap: the complete
+    list of registered PMO names.  The applier deletes mirrored pool
+    files *not* in the list and restarts its mirrored session journal
+    (the primary re-ships the journal in full right after) — so a
+    destroy that raced a disconnect, or a stale prior generation in
+    the standby's directory, can never survive into a promotion.
 ``header``
     one PMO's 4096-byte durable file header (payload), shipped at
-    registration and again on every bootstrap.
+    registration and again on every bootstrap.  Applying a header
+    truncates the mirrored file to the bare header: stale pages never
+    outlive the snapshot that follows.
 ``batch``
     one committed group-commit batch: PMO name/id, the committed
     ``flush_seq``, the previous shipped seq (``prev``, so the applier
@@ -49,7 +58,8 @@ __all__ = ["ReplicationWireError", "send_msg", "recv_msg",
            "REPL_PROTOCOL_VERSION", "MAX_FRAME_BYTES"]
 
 #: Replication protocol revision (independent of the client protocol).
-REPL_PROTOCOL_VERSION = 1
+#: v2 added the reconciling ``reset`` frame and truncate-on-header.
+REPL_PROTOCOL_VERSION = 2
 
 #: Frame size guard: a batch is at most ``max_batch`` merged snapshots
 #: of 4KB pages; 64 MiB leaves generous headroom over any legal batch.

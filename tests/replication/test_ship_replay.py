@@ -7,6 +7,9 @@ acks the fsynced batch), every assertion after a returned ``psync``
 can inspect the standby's pool directory without sleeping.
 """
 
+import socket
+import struct
+import threading
 import time
 import zlib
 
@@ -102,6 +105,98 @@ class TestLiveReplay:
         store.close()
 
 
+class TestReconcilingBootstrap:
+    def test_destroy_while_link_down_reconciles(self, tmp_path,
+                                                standby):
+        """A destroy the link was down for is unshippable — the
+        reconnect bootstrap's reset frame must prune it from the
+        mirror so a later promotion cannot resurrect it."""
+        store = PmoStore(tmp_path / "primary")
+        shipper = JournalShipper("127.0.0.1", standby.bound_port,
+                                 store=store, reconnect_s=60.0)
+        store.shipper = shipper
+        assert shipper.start()
+        lib = PmoLibrary(store=store)
+        commit_rounds(lib, store, "victim")
+        commit_rounds(lib, store, "keeper")
+        victim = standby.applier.path_for("victim")
+        assert victim.exists()
+        shipper._drop_connection("test: link down")
+        store.destroy("victim")
+        assert victim.exists()          # the destroy was lost...
+        assert shipper._connect_once()  # ...until the bootstrap
+        deadline = time.monotonic() + 5.0
+        while victim.exists() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert not victim.exists()
+        assert standby.applier.path_for("keeper").exists()
+        assert "victim" not in standby.applier.applied
+        shipper.stop()
+        store.close()
+
+    def test_register_vs_bootstrap_lock_order(self, tmp_path,
+                                              standby):
+        """Regression: register() used to call the shipper's hooks
+        while holding the store lock; with the dialer's bootstrap
+        holding the send lock across committed_state() (which takes
+        the store lock) that was an ABBA deadlock."""
+        store, shipper, lib = make_primary(tmp_path, standby)
+        commit_rounds(lib, store, "existing")
+        entered = threading.Event()
+        registered = threading.Event()
+
+        def bootstrap_side():
+            with shipper._send_lock:     # exactly as the dialer does
+                entered.set()
+                time.sleep(0.1)          # let register reach its hook
+                store.committed_state("existing")
+
+        boot = threading.Thread(target=bootstrap_side, daemon=True)
+        boot.start()
+        assert entered.wait(2.0)
+        reg = threading.Thread(
+            target=lambda: (lib.PMO_create("fresh", MIB),
+                            registered.set()),
+            daemon=True)
+        reg.start()
+        assert registered.wait(5.0), \
+            "register deadlocked against a concurrent bootstrap"
+        boot.join(5.0)
+        assert not boot.is_alive()
+        shipper.stop()
+        store.close()
+
+
+class TestConnectionRobustness:
+    def test_stale_socket_drop_is_noop(self, tmp_path, standby):
+        """A stale ack-reader from a dropped link must not tear down
+        the connection the dialer has since re-established."""
+        store, shipper, lib = make_primary(tmp_path, standby)
+        current = shipper._sock
+        stale = socket.socket()
+        shipper._drop_connection("stale reader", stale)
+        assert shipper.connected
+        assert shipper._sock is current
+        stale.close()
+        shipper._drop_connection("real", current)
+        assert not shipper.connected
+        shipper.stop()
+        store.close()
+
+    def test_send_timeout_is_bounded(self, tmp_path, standby):
+        """The replication socket carries a kernel send timeout: a
+        standby that stops reading degrades shipping instead of
+        parking group commits in sendall()."""
+        store, shipper, lib = make_primary(tmp_path, standby)
+        raw = shipper._sock.getsockopt(
+            socket.SOL_SOCKET, socket.SO_SNDTIMEO, 16)
+        sec, usec = struct.unpack("ll", raw[:struct.calcsize("ll")])
+        assert sec + usec / 1e6 == \
+            pytest.approx(shipper.ack_timeout_s, abs=0.01)
+        shipper.stop()
+        store.close()
+
+
 class TestBootstrap:
     def test_preexisting_commits_bootstrap_on_connect(self, tmp_path,
                                                       standby):
@@ -156,6 +251,38 @@ class TestApplierChain:
         applier.apply_batch("p", *batch_args(9, -1, (0, page(2))))
         applier.apply_batch("p", *batch_args(11, 9, (1, page(3))))
         assert applier.applied["p"] == 11
+        applier.close()
+
+    def test_header_truncates_stale_generation(self, tmp_path):
+        """A (re)shipped header drops the mirror to the bare header:
+        stale pages from a prior generation never outlive the
+        bootstrap snapshot that follows."""
+        applier = JournalApplier(tmp_path)
+        applier.apply_header("p", bytes(PAGE_SIZE))
+        applier.apply_batch("p", *batch_args(4, 0, (0, page(1)),
+                                             (1, page(2))))
+        grown = applier.path_for("p").stat().st_size
+        applier.apply_header("p", bytes(PAGE_SIZE))
+        assert applier.path_for("p").stat().st_size < grown
+        assert applier.applied["p"] == 0
+        applier.apply_batch("p", *batch_args(9, -1, (0, page(3))))
+        assert applier.applied["p"] == 9
+        applier.close()
+
+    def test_reset_prunes_unlisted_pmos(self, tmp_path):
+        applier = JournalApplier(tmp_path)
+        applier.apply_header("gone", bytes(PAGE_SIZE))
+        applier.apply_header("kept", bytes(PAGE_SIZE))
+        applier.apply_batch("kept", *batch_args(1, 0, (0, page(1))))
+        applier.apply_journal({"rec": "epoch", "wall_ns": 1})
+        applier.apply_reset(["kept"])
+        assert not applier.path_for("gone").exists()
+        assert applier.path_for("kept").exists()
+        assert "gone" not in applier.applied
+        assert applier.applied["kept"] == 1
+        # The mirrored session journal restarts: the primary re-ships
+        # it in full right after the reset.
+        assert not applier._journal.path.exists()
         applier.close()
 
     def test_batch_before_header_raises(self, tmp_path):
